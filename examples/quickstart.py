@@ -1,0 +1,104 @@
+"""Quickstart: define a model in code, preview it, generate it.
+
+Demonstrates the core PDGF loop in under a minute:
+
+1. build a :class:`~repro.model.Schema` (two tables, references,
+   formulas, NULLs, free text) with a scale-factor property;
+2. preview rows instantly (no full generation needed);
+3. generate deterministically with 4 worker threads to CSV files;
+4. rescale the whole data set by overriding one property.
+
+Run: ``python examples/quickstart.py``
+"""
+
+from __future__ import annotations
+
+import tempfile
+
+from repro import GenerationEngine, OutputConfig, generate
+from repro.model import Field, GeneratorSpec, Schema, Table
+
+
+def build_schema() -> Schema:
+    schema = Schema("webshop", seed=20150531)
+    properties = schema.properties
+    properties.define("SF", "1")
+    properties.define("customer_size", "200 * ${SF}")
+    properties.define("orders_size", "800 * ${SF}")
+
+    schema.add_table(Table("customer", "${customer_size}", [
+        Field.of("c_id", "BIGINT", GeneratorSpec("IdGenerator"), primary=True),
+        Field.of("c_name", "VARCHAR(40)", GeneratorSpec("PersonNameGenerator")),
+        Field.of("c_email", "VARCHAR(60)", GeneratorSpec("EmailGenerator")),
+        Field.of("c_city", "VARCHAR(20)", GeneratorSpec("CityGenerator")),
+        Field.of("c_segment", "VARCHAR(10)", GeneratorSpec(
+            "DictListGenerator",
+            {"values": ["GOLD", "SILVER", "BRONZE"], "weights": [0.1, 0.3, 0.6]},
+        )),
+    ]))
+
+    schema.add_table(Table("orders", "${orders_size}", [
+        Field.of("o_id", "BIGINT", GeneratorSpec("IdGenerator"), primary=True),
+        Field.of("o_customer", "BIGINT", GeneratorSpec(
+            "DefaultReferenceGenerator", {"table": "customer", "field": "c_id"}
+        )),
+        Field.of("o_quantity", "INTEGER", GeneratorSpec(
+            "IntGenerator", {"min": 1, "max": 20}
+        )),
+        Field.of("o_unit_price", "DECIMAL(8,2)", GeneratorSpec(
+            "DoubleGenerator", {"min": 0.99, "max": 499.99, "places": 2}
+        )),
+        # A dependent value, computed from sibling fields of the same row.
+        Field.of("o_total", "DECIMAL(10,2)", GeneratorSpec(
+            "FormulaGenerator",
+            {"formula": "[o_quantity] * [o_unit_price]", "places": 2},
+        )),
+        Field.of("o_date", "DATE", GeneratorSpec(
+            "DateGenerator", {"min": "2024-01-01", "max": "2024-12-31"}
+        )),
+        # 10% of orders carry no note.
+        Field.of("o_note", "VARCHAR(80)", GeneratorSpec(
+            "NullGenerator", {"probability": 0.1},
+            [GeneratorSpec("TextGenerator", {"min": 3, "max": 10})],
+        )),
+    ]))
+    return schema
+
+
+def main() -> None:
+    schema = build_schema()
+    engine = GenerationEngine(schema)
+
+    print("== instant preview (no full generation) ==")
+    for row in engine.preview("orders", 5):
+        print("  " + " | ".join(row))
+
+    with tempfile.TemporaryDirectory() as directory:
+        output = OutputConfig(kind="file", format="csv", directory=directory)
+        report = generate(engine, output, workers=4)
+        print(f"\n== generated {report.rows:,} rows "
+              f"({report.bytes_written / 1024:.1f} KiB) "
+              f"at {report.mb_per_second:.2f} MB/s ==")
+        with open(output.table_path("customer")) as handle:
+            print("  first customer row:", handle.readline().strip())
+
+    # Determinism: the same model always produces the same data...
+    again = GenerationEngine(build_schema())
+    assert list(again.iter_rows("orders", 0, 10)) == list(
+        engine.iter_rows("orders", 0, 10)
+    )
+    print("\n== determinism: regeneration is bit-identical ==")
+
+    # ...and one property rescales everything, references included.
+    schema.properties.override("SF", 5)
+    scaled = GenerationEngine(schema)
+    print(f"== SF=5 rescales the model: {scaled.sizes} ==")
+    customer_ids = {row[0] for row in scaled.iter_rows("customer")}
+    assert all(
+        row[1] in customer_ids for row in scaled.iter_rows("orders")
+    ), "references stay valid at any scale"
+    print("== references remain valid at the new scale ==")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+"""repro — reproduction of "Just can't get enough: Synthesizing Big Data"
+(Rabl et al., SIGMOD 2015).
+
+Two systems in one library:
+
+* **PDGF** — a deterministic, fully parallel data generator: hierarchical
+  seeding over xorshift PRNGs, stackable field value generators,
+  recomputed references, a work-package scheduler, and CSV/JSON/XML/SQL
+  output (:mod:`repro.engine`, :mod:`repro.generators`,
+  :mod:`repro.scheduler`, :mod:`repro.output`).
+* **DBSynth** — automatic model extraction from an existing database:
+  schema introspection, statistical profiling, dictionary and Markov
+  chain construction, a rule engine for generator selection, schema
+  translation, loading, and fidelity verification (:mod:`repro.core`).
+
+Quickstart::
+
+    from repro import GenerationEngine, OutputConfig, generate
+    from repro.suites.tpch import tpch_schema
+
+    schema = tpch_schema(scale_factor=0.01)
+    engine = GenerationEngine(schema)
+    report = generate(engine, OutputConfig(kind="file", directory="out"), workers=4)
+    print(report.rows, "rows at", report.mb_per_second, "MB/s")
+"""
+
+from repro.engine import BoundTable, GenerationEngine
+from repro.exceptions import (
+    AdapterError,
+    ConfigError,
+    ExtractionError,
+    FormulaError,
+    GenerationError,
+    ModelError,
+    OutputError,
+    PropertyError,
+    ReproError,
+    SchedulingError,
+)
+from repro.generators import ArtifactStore
+from repro.model import Field, GeneratorSpec, PropertySet, Schema, Table
+from repro.output.config import OutputConfig
+from repro.scheduler import (
+    ClusterReport,
+    MetaScheduler,
+    ProgressMonitor,
+    RunReport,
+    Scheduler,
+    generate,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BoundTable",
+    "GenerationEngine",
+    "AdapterError",
+    "ConfigError",
+    "ExtractionError",
+    "FormulaError",
+    "GenerationError",
+    "ModelError",
+    "OutputError",
+    "PropertyError",
+    "ReproError",
+    "SchedulingError",
+    "ArtifactStore",
+    "Field",
+    "GeneratorSpec",
+    "PropertySet",
+    "Schema",
+    "Table",
+    "OutputConfig",
+    "ClusterReport",
+    "MetaScheduler",
+    "ProgressMonitor",
+    "RunReport",
+    "Scheduler",
+    "generate",
+    "__version__",
+]

@@ -1,0 +1,315 @@
+"""dbsynth command line interface.
+
+The paper demonstrates DBSynth through a GUI wizard (Figures 10-12);
+the library exposes the same workflows as CLI verbs:
+
+* ``extract``   — build a model from a source database (Figure 12's
+  elaborate extraction: schema, statistics, samples).
+* ``preview``   — instant preview of generated rows (paper §4's
+  "preview generation, which shows samples of the generated data
+  instantaneously").
+* ``generate``  — run PDGF over a model or a built-in suite.
+* ``translate`` — print the target-database DDL for a model.
+* ``verify``    — compare source vs. synthesized databases with SQL.
+* ``update``    — print an update-epoch change batch summary.
+
+Built-in suite models (``--suite tpch|ssb|bigbench``) correspond to the
+demo's "default projects" (Figure 10).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro import __version__
+from repro.config import apply_overrides, schema_xml
+from repro.core import DBSynthProject, SampleConfig
+from repro.core.model_builder import BuildOptions
+from repro.core.project import ProjectPaths
+from repro.db import SQLiteAdapter
+from repro.db.ddl import create_schema_sql
+from repro.engine import GenerationEngine
+from repro.exceptions import ReproError
+from repro.generators.base import ArtifactStore
+from repro.output.config import OutputConfig
+from repro.scheduler import ProgressMonitor, generate
+from repro.update import UpdateBlackBox
+
+
+def _suite_engine(name: str, scale_factor: float) -> GenerationEngine:
+    if name == "tpch":
+        from repro.suites.tpch import tpch_engine
+
+        return tpch_engine(scale_factor)
+    if name == "ssb":
+        from repro.suites.ssb import ssb_engine
+
+        return ssb_engine(scale_factor)
+    if name == "bigbench":
+        from repro.suites.bigbench import bigbench_engine
+
+        return bigbench_engine(scale_factor)
+    raise ReproError(f"unknown suite {name!r} (expected tpch, ssb, or bigbench)")
+
+
+def _load_engine(args: argparse.Namespace) -> GenerationEngine:
+    """Engine from --suite or --model, with -p overrides applied."""
+    if args.suite:
+        engine = _suite_engine(args.suite, args.scale_factor)
+        schema, artifacts = engine.schema, engine.artifacts
+    else:
+        if not args.model:
+            raise ReproError("either --suite or --model is required")
+        schema, artifacts = DBSynthProject.load_saved(args.model)
+        schema.properties.override("SF", args.scale_factor)
+    if args.property:
+        apply_overrides(schema.properties, args.property)
+    return GenerationEngine(schema, artifacts)
+
+
+def _add_model_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--model", help="saved project directory (from extract)")
+    parser.add_argument(
+        "--suite", choices=("tpch", "ssb", "bigbench"), help="built-in suite model"
+    )
+    parser.add_argument(
+        "--scale-factor", "--sf", type=float, default=1.0, dest="scale_factor"
+    )
+    parser.add_argument(
+        "-p",
+        "--property",
+        action="append",
+        metavar="NAME=VALUE",
+        help="override a model property (repeatable)",
+    )
+
+
+def _cmd_extract(args: argparse.Namespace) -> int:
+    source = SQLiteAdapter(args.source)
+    options = BuildOptions(
+        sample_data=not args.no_sample,
+        sample_config=SampleConfig(
+            fraction=args.sample_fraction, strategy=args.strategy
+        ),
+    )
+    project = DBSynthProject(name=args.name, source=source, build_options=options)
+    project.extract()
+    if not args.no_profile:
+        project.profile()
+    result = project.build_model()
+    paths = project.save(args.output)
+    timings = project.extracted.timings if project.extracted else None
+
+    print(f"model written to {paths.model_xml}")
+    print(f"artifacts: {len(result.artifacts.names())}, DDL: {paths.ddl_sql}")
+    if timings:
+        print(
+            f"timings: schema {timings.schema_seconds * 1000:.0f} ms, "
+            f"sizes {timings.sizes_seconds * 1000:.0f} ms, "
+            f"nulls {timings.null_seconds * 1000:.0f} ms, "
+            f"min/max {timings.minmax_seconds * 1000:.0f} ms, "
+            f"sampling {timings.sampling_seconds * 1000:.0f} ms"
+        )
+    if args.verbose:
+        for decision in result.decisions:
+            print(
+                f"  {decision.table}.{decision.column}: "
+                f"{decision.generator} ({decision.reason})"
+            )
+    source.close()
+    return 0
+
+
+def _cmd_preview(args: argparse.Namespace) -> int:
+    engine = _load_engine(args)
+    tables = [args.table] if args.table else list(engine.sizes)
+    for table in tables:
+        print(f"-- {table} ({engine.sizes[table]} rows)")
+        columns = engine.bound_table(table).column_names
+        print(" | ".join(columns))
+        for row in engine.preview(table, args.rows):
+            print(" | ".join(row))
+        print()
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    engine = _load_engine(args)
+    output = OutputConfig(
+        kind=args.kind,
+        format=args.format,
+        directory=args.directory,
+        database=args.database or "",
+        delimiter=args.delimiter,
+        include_header=args.header,
+    )
+    if args.kind == "sqlite":
+        # The SQL stream needs the target schema in place first.
+        with SQLiteAdapter(output.database) as target:
+            target.execute_script(create_schema_sql(engine.schema, "sqlite"))
+
+    def print_progress(snapshot) -> None:
+        print(
+            f"\r{snapshot.fraction:6.1%} {snapshot.rows_per_second:12,.0f} rows/s "
+            f"{snapshot.mb_per_second:8.2f} MB/s",
+            end="",
+            file=sys.stderr,
+        )
+
+    progress = ProgressMonitor(
+        engine.total_rows(),
+        engine.sizes,
+        callback=print_progress if not args.quiet else None,
+    )
+    report = generate(engine, output, workers=args.workers, progress=progress)
+    if not args.quiet:
+        print(file=sys.stderr)
+    print(
+        f"{report.rows:,} rows, {report.bytes_written / 1048576:.2f} MiB "
+        f"in {report.seconds:.2f} s ({report.mb_per_second:.2f} MB/s, "
+        f"{args.workers} workers)"
+    )
+    return 0
+
+
+def _cmd_translate(args: argparse.Namespace) -> int:
+    if args.suite:
+        schema = _suite_engine(args.suite, args.scale_factor).schema
+    else:
+        schema, _ = DBSynthProject.load_saved(args.model)
+    print(create_schema_sql(schema, args.dialect))
+    return 0
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    from repro.core.fidelity import FidelityChecker, default_queries
+
+    schema, _ = DBSynthProject.load_saved(args.model)
+    with SQLiteAdapter(args.source) as source, SQLiteAdapter(args.target) as target:
+        report = FidelityChecker(source, target).run(default_queries(schema))
+    for line in report.summary_lines():
+        print(line)
+    print(f"pass rate: {report.pass_rate:.0%}")
+    return 0 if report.passed else 1
+
+
+def _cmd_workload(args: argparse.Namespace) -> int:
+    """Run the TPC-H query workload through the benchmark driver."""
+    from repro.core.driver import BenchmarkDriver
+    from repro.suites.tpch.workload import DEFAULT_TEMPLATES, PREDICTED_QUERIES
+
+    engine = _load_engine(args)
+    if args.suite and args.suite != "tpch":
+        raise ReproError("the built-in workload currently targets --suite tpch")
+    with SQLiteAdapter(args.database) as target:
+        driver = BenchmarkDriver(engine.schema, target, engine.artifacts)
+        templates = [(t, args.count) for t, _default in DEFAULT_TEMPLATES]
+        report = driver.run_workload(templates, PREDICTED_QUERIES)
+    for line in report.summary_lines():
+        print(line)
+    return 0 if report.failed == 0 else 1
+
+
+def _cmd_update(args: argparse.Namespace) -> int:
+    engine = _load_engine(args)
+    blackbox = UpdateBlackBox(engine.schema, engine.artifacts)
+    tables = [args.table] if args.table else list(engine.sizes)
+    for table in tables:
+        plan = blackbox.plan(table, args.epoch)
+        print(
+            f"{table} epoch {args.epoch}: {plan.inserts} inserts "
+            f"(rows from {plan.insert_start}), {plan.updates} updates, "
+            f"{plan.deletes} deletes"
+        )
+        if args.show:
+            for event in blackbox.epoch_events(table, args.epoch):
+                print(f"  {event.kind:<7} row {event.row} {event.values or ''}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="dbsynth",
+        description="DBSynth/PDGF: synthesize realistic data from database models",
+    )
+    parser.add_argument("--version", action="version", version=__version__)
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    extract = commands.add_parser("extract", help="build a model from a database")
+    extract.add_argument("source", help="source SQLite database path")
+    extract.add_argument("-o", "--output", required=True, help="project directory")
+    extract.add_argument("--name", default="dbsynth_model")
+    extract.add_argument("--no-sample", action="store_true")
+    extract.add_argument("--no-profile", action="store_true")
+    extract.add_argument("--sample-fraction", type=float, default=0.01)
+    extract.add_argument(
+        "--strategy", choices=("bernoulli", "first", "systematic"), default="bernoulli"
+    )
+    extract.add_argument("-v", "--verbose", action="store_true")
+    extract.set_defaults(func=_cmd_extract)
+
+    preview = commands.add_parser("preview", help="show generated sample rows")
+    _add_model_args(preview)
+    preview.add_argument("--table")
+    preview.add_argument("-n", "--rows", type=int, default=10)
+    preview.set_defaults(func=_cmd_preview)
+
+    gen = commands.add_parser("generate", help="generate a data set")
+    _add_model_args(gen)
+    gen.add_argument(
+        "--kind", choices=("file", "null", "sqlite"), default="file"
+    )
+    gen.add_argument("--format", choices=("csv", "json", "xml", "sql"), default="csv")
+    gen.add_argument("-d", "--directory", default=".")
+    gen.add_argument("--database", help="target database for --kind sqlite")
+    gen.add_argument("--delimiter", default="|")
+    gen.add_argument("--header", action="store_true")
+    gen.add_argument("-w", "--workers", type=int, default=1)
+    gen.add_argument("-q", "--quiet", action="store_true")
+    gen.set_defaults(func=_cmd_generate)
+
+    translate = commands.add_parser("translate", help="print target DDL")
+    _add_model_args(translate)
+    translate.add_argument(
+        "--dialect", choices=("ansi", "sqlite", "postgres", "mysql"), default="sqlite"
+    )
+    translate.set_defaults(func=_cmd_translate)
+
+    verify = commands.add_parser("verify", help="compare source vs synthetic data")
+    verify.add_argument("--model", required=True)
+    verify.add_argument("--source", required=True)
+    verify.add_argument("--target", required=True)
+    verify.set_defaults(func=_cmd_verify)
+
+    workload = commands.add_parser(
+        "workload", help="run a deterministic query workload with predictions"
+    )
+    _add_model_args(workload)
+    workload.add_argument("--database", required=True,
+                          help="target SQLite database to query")
+    workload.add_argument("--count", type=int, default=2,
+                          help="instances per query template")
+    workload.set_defaults(func=_cmd_workload)
+
+    update = commands.add_parser("update", help="inspect update epochs")
+    _add_model_args(update)
+    update.add_argument("--table")
+    update.add_argument("--epoch", type=int, default=1)
+    update.add_argument("--show", action="store_true", help="print every event")
+    update.set_defaults(func=_cmd_update)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,6 @@
+"""XML configuration round-trip for schema models and output formats."""
+
+from repro.config import format_xml, schema_xml
+from repro.config.overrides import apply_overrides, parse_override
+
+__all__ = ["format_xml", "schema_xml", "apply_overrides", "parse_override"]

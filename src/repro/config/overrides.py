@@ -1,0 +1,30 @@
+"""Command-line property overrides.
+
+"all previously specified properties of a model and format (e.g., scale
+factors, table sizes, probabilities) can be changed in the command line
+interface" (paper §2). Overrides are ``NAME=VALUE`` strings; numeric
+values stay strings so that formula evaluation still applies (an
+override may itself be a formula, e.g. ``lineitem_size=1000*${SF}``).
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import PropertyError
+from repro.model.properties import PropertySet
+
+
+def parse_override(text: str) -> tuple[str, str]:
+    """Split ``NAME=VALUE``; raises :class:`PropertyError` when malformed."""
+    name, sep, value = text.partition("=")
+    name = name.strip()
+    if not sep or not name:
+        raise PropertyError(f"override must look like NAME=VALUE, got {text!r}")
+    return name, value.strip()
+
+
+def apply_overrides(properties: PropertySet, overrides: list[str]) -> PropertySet:
+    """Apply a list of ``NAME=VALUE`` overrides in order."""
+    for text in overrides:
+        name, value = parse_override(text)
+        properties.override(name, value)
+    return properties

@@ -1,0 +1,199 @@
+"""Schema XML round-trip — the paper's Listing 1 format.
+
+PDGF models are XML documents: a ``<schema>`` with a ``<seed>``, an
+``<rng>``, ``<property>`` definitions, and ``<table>``/``<field>``
+entries whose generators appear as nested ``gen_*`` elements
+(``gen_IdGenerator``, ``gen_NullGenerator`` wrapping
+``gen_MarkovChainGenerator``, ...). DBSynth writes these files and PDGF
+consumes them; we keep the same shape so generated configurations are
+recognizable next to the paper.
+
+Parsing rules: a ``gen_X`` element becomes a :class:`GeneratorSpec` named
+``X``; its attributes and simple text children become params; nested
+``gen_*`` elements become child specs; ``<reference table=... field=.../>``
+is the paper's spelling for reference targets; repeated ``<value>``,
+``<weight>``, and ``<case>`` children become list params.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+
+from repro.exceptions import ConfigError
+from repro.model.datatypes import parse_type
+from repro.model.schema import Field, GeneratorSpec, Schema, Table
+
+_LIST_PARAMS = {
+    "value": "values",
+    "weight": "weights",
+    "case": "cases",
+    "bound": "bounds",
+}
+
+
+def loads(text: str) -> Schema:
+    """Parse a schema XML document into a model."""
+    try:
+        root = ET.fromstring(text)
+    except ET.ParseError as exc:
+        raise ConfigError(f"malformed schema XML: {exc}") from exc
+    if root.tag != "schema":
+        raise ConfigError(f"expected <schema> root, found <{root.tag}>")
+    name = root.get("name")
+    if not name:
+        raise ConfigError("<schema> needs a name attribute")
+    schema = Schema(name=name)
+
+    seed = root.find("seed")
+    if seed is not None and seed.text:
+        try:
+            schema.seed = int(seed.text.strip())
+        except ValueError as exc:
+            raise ConfigError(f"bad <seed>: {seed.text!r}") from exc
+
+    rng = root.find("rng")
+    if rng is not None:
+        schema.rng = rng.get("name", schema.rng)
+
+    for prop in root.findall("property"):
+        pname = prop.get("name")
+        if not pname:
+            raise ConfigError("<property> needs a name attribute")
+        schema.properties.define(
+            pname, (prop.text or "").strip(), prop.get("type", "double")
+        )
+
+    for table_el in root.findall("table"):
+        schema.add_table(_parse_table(table_el))
+    return schema
+
+
+def load(path: str) -> Schema:
+    with open(path, encoding="utf-8") as handle:
+        return loads(handle.read())
+
+
+def _parse_table(element: ET.Element) -> Table:
+    name = element.get("name")
+    if not name:
+        raise ConfigError("<table> needs a name attribute")
+    size = element.find("size")
+    if size is None or not (size.text or "").strip():
+        raise ConfigError(f"table {name!r} needs a <size> element")
+    table = Table(name=name, size_expression=size.text.strip())
+    for field_el in element.findall("field"):
+        table.fields.append(_parse_field(name, field_el))
+    return table
+
+
+def _parse_field(table_name: str, element: ET.Element) -> Field:
+    name = element.get("name")
+    if not name:
+        raise ConfigError(f"table {table_name!r}: <field> needs a name")
+    type_text = element.get("type")
+    if not type_text:
+        raise ConfigError(f"field {table_name}.{name}: missing type attribute")
+    size_attr = element.get("size")
+    length = f"({size_attr})" if size_attr and "(" not in type_text else ""
+    dtype = parse_type(type_text + length)
+
+    generators = [child for child in element if child.tag.startswith("gen_")]
+    if len(generators) != 1:
+        raise ConfigError(
+            f"field {table_name}.{name}: expected exactly one gen_* element, "
+            f"found {len(generators)}"
+        )
+    spec = _parse_generator(generators[0])
+    return Field(
+        name=name,
+        dtype=dtype,
+        generator=spec,
+        primary=element.get("primary", "false").lower() == "true",
+        nullable=element.get("nullable", "true").lower() == "true",
+        size=int(size_attr) if size_attr else None,
+    )
+
+
+def _parse_generator(element: ET.Element) -> GeneratorSpec:
+    spec = GeneratorSpec(name=element.tag[len("gen_") :])
+    for key, value in element.attrib.items():
+        spec.params[key] = value
+    for child in element:
+        if child.tag.startswith("gen_"):
+            spec.children.append(_parse_generator(child))
+        elif child.tag == "reference":
+            spec.params["table"] = child.get("table")
+            spec.params["field"] = child.get("field")
+        elif child.tag in _LIST_PARAMS:
+            spec.params.setdefault(_LIST_PARAMS[child.tag], []).append(
+                child.text if child.text is not None else ""
+            )
+        else:
+            # Verbatim: whitespace can be significant (e.g. a Sequential
+            # generator's separator of a single space).
+            spec.params[child.tag] = child.text if child.text is not None else ""
+    return spec
+
+
+def dumps(schema: Schema) -> str:
+    """Serialize a model back to schema XML (round-trip safe)."""
+    root = ET.Element("schema", {"name": schema.name})
+    ET.SubElement(root, "seed").text = str(schema.seed)
+    ET.SubElement(root, "rng", {"name": schema.rng})
+    for pdef in schema.properties.definitions():
+        prop = ET.SubElement(root, "property", {"name": pdef.name, "type": pdef.ptype})
+        prop.text = pdef.expression
+    for table in schema.tables:
+        table_el = ET.SubElement(root, "table", {"name": table.name})
+        ET.SubElement(table_el, "size").text = table.size_expression
+        for field in table.fields:
+            attrs = {
+                "name": field.name,
+                "type": field.dtype.base.sql_name,
+                "primary": "true" if field.primary else "false",
+                "nullable": "true" if field.nullable else "false",
+            }
+            size = field.size or field.dtype.length
+            if size is not None:
+                attrs["size"] = str(size)
+            field_el = ET.SubElement(table_el, "field", attrs)
+            field_el.append(_dump_generator(field.generator))
+    ET.indent(root)
+    return '<?xml version="1.0" encoding="UTF-8"?>\n' + ET.tostring(
+        root, encoding="unicode"
+    )
+
+
+def dump(schema: Schema, path: str) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(dumps(schema))
+
+
+_REVERSE_LIST_PARAMS = {v: k for k, v in _LIST_PARAMS.items()}
+
+
+def _dump_generator(spec: GeneratorSpec) -> ET.Element:
+    element = ET.Element("gen_" + spec.name)
+    if spec.name == "DefaultReferenceGenerator":
+        ET.SubElement(
+            element,
+            "reference",
+            {
+                "table": str(spec.params.get("table", "")),
+                "field": str(spec.params.get("field", "")),
+            },
+        )
+        extra = {
+            k: v for k, v in spec.params.items() if k not in ("table", "field")
+        }
+    else:
+        extra = dict(spec.params)
+    for key, value in extra.items():
+        if key in _REVERSE_LIST_PARAMS and isinstance(value, (list, tuple)):
+            for item in value:
+                ET.SubElement(element, _REVERSE_LIST_PARAMS[key]).text = str(item)
+        else:
+            ET.SubElement(element, key).text = "" if value is None else str(value)
+    for child in spec.children:
+        element.append(_dump_generator(child))
+    return element

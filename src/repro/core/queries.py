@@ -1,0 +1,654 @@
+"""Query workload generation and model-side result prediction.
+
+Implements the paper's future-work items (§7): "we will generate the
+queries consistently using PDGF" and "include query analysis to generate
+data sets with predefined (intermediate) results and generate
+verification results for queries. Given the deterministic approach of
+data generation, our tool will then also be able to directly execute the
+query without ever generating the data."
+
+Two pieces:
+
+* :class:`QueryTemplate` / :class:`QueryParameterGenerator` — TPC-style
+  query templates whose substitution parameters are drawn
+  deterministically from the model (dictionary entries, date windows,
+  numeric ranges) through the same seed hierarchy as the data, so query
+  streams are as repeatable as the data they run against.
+* :class:`VirtualExecutor` — evaluates simple aggregate queries *against
+  the model*, either analytically (closed forms over the generators'
+  known distributions; no data is ever generated) or exactly (by
+  streaming rows through the engine without materializing them). The
+  analytic path is the "execute the query without ever generating the
+  data" capability; its outputs serve as verification results for runs
+  against a loaded database.
+"""
+
+from __future__ import annotations
+
+import datetime
+import enum
+import re
+from dataclasses import dataclass, field as dc_field
+
+from repro.engine import GenerationEngine
+from repro.exceptions import GenerationError, ModelError
+from repro.generators.base import ArtifactStore
+from repro.model.datatypes import TypeFamily
+from repro.model.schema import Field, GeneratorSpec, Schema
+from repro.prng.xorshift import XorShift64Star, combine_name64
+from repro.text.dictionary import WeightedDictionary
+
+
+class Op(enum.Enum):
+    """Predicate operators supported by the virtual executor."""
+
+    EQ = "="
+    LT = "<"
+    LE = "<="
+    GT = ">"
+    GE = ">="
+    BETWEEN = "between"
+    IN = "in"
+    IS_NULL = "is null"
+    NOT_NULL = "is not null"
+
+
+@dataclass(frozen=True)
+class Predicate:
+    """One conjunct of a WHERE clause: ``column op value(s)``."""
+
+    column: str
+    op: Op
+    value: object = None
+    value2: object = None  # upper bound of BETWEEN
+
+    def to_sql(self) -> str:
+        column = self.column
+        if self.op is Op.IS_NULL:
+            return f"{column} IS NULL"
+        if self.op is Op.NOT_NULL:
+            return f"{column} IS NOT NULL"
+        if self.op is Op.BETWEEN:
+            return f"{column} BETWEEN {_sql_literal(self.value)} AND {_sql_literal(self.value2)}"
+        if self.op is Op.IN:
+            rendered = ", ".join(_sql_literal(v) for v in self.value)  # type: ignore[union-attr]
+            return f"{column} IN ({rendered})"
+        return f"{column} {self.op.value} {_sql_literal(self.value)}"
+
+
+@dataclass(frozen=True)
+class Aggregate:
+    """One SELECT-list aggregate: COUNT(*), SUM(col), AVG(col), MIN, MAX."""
+
+    func: str  # count | sum | avg | min | max
+    column: str | None = None
+
+    def to_sql(self) -> str:
+        if self.func == "count" and self.column is None:
+            return "COUNT(*)"
+        return f"{self.func.upper()}({self.column})"
+
+
+@dataclass
+class Query:
+    """A single-table filter-aggregate query (the class the paper's
+    verification-result generation targets)."""
+
+    table: str
+    aggregates: list[Aggregate]
+    predicates: list[Predicate] = dc_field(default_factory=list)
+
+    def to_sql(self) -> str:
+        select = ", ".join(a.to_sql() for a in self.aggregates)
+        sql = f"SELECT {select} FROM {self.table}"
+        if self.predicates:
+            sql += " WHERE " + " AND ".join(p.to_sql() for p in self.predicates)
+        return sql
+
+
+def _sql_literal(value: object) -> str:
+    if value is None:
+        return "NULL"
+    if isinstance(value, (int, float)):
+        return str(value)
+    if isinstance(value, (datetime.date, datetime.datetime)):
+        return f"'{value.isoformat()}'"
+    text = str(value).replace("'", "''")
+    return f"'{text}'"
+
+
+# -- parameterized query templates --------------------------------------------
+
+_PARAM_RE = re.compile(r":(\w+)")
+
+
+@dataclass(frozen=True)
+class ParameterSpec:
+    """How to draw one template parameter from the model.
+
+    ``kind``: ``"dictionary"`` (a value of the named column's dictionary
+    or inline value list), ``"numeric"`` (uniform within the column's
+    modelled bounds), or ``"date"`` (within the column's window).
+    """
+
+    name: str
+    table: str
+    column: str
+    kind: str
+
+
+@dataclass
+class QueryTemplate:
+    """A SQL text with ``:param`` placeholders plus parameter specs."""
+
+    name: str
+    sql: str
+    parameters: list[ParameterSpec]
+
+    def placeholder_names(self) -> list[str]:
+        return _PARAM_RE.findall(self.sql)
+
+
+class QueryParameterGenerator:
+    """Draws template parameters deterministically from the model.
+
+    Stream ``i`` of template ``t`` always yields the same parameter
+    vector for a given model seed — query workloads are repeatable in
+    exactly the way the data is (paper §7).
+    """
+
+    def __init__(self, schema: Schema, artifacts: ArtifactStore | None = None):
+        self.schema = schema
+        self.artifacts = artifacts or ArtifactStore()
+
+    def _rng_for(self, template: QueryTemplate, index: int) -> XorShift64Star:
+        seed = combine_name64(self.schema.seed, f"query:{template.name}:{index}")
+        return XorShift64Star(seed)
+
+    def parameters_for(self, template: QueryTemplate, index: int) -> dict[str, object]:
+        """The parameter vector for instance *index* of the template."""
+        rng = self._rng_for(template, index)
+        values: dict[str, object] = {}
+        for spec in template.parameters:
+            values[spec.name] = self._draw(spec, rng)
+        return values
+
+    def instantiate(self, template: QueryTemplate, index: int) -> str:
+        """The SQL text of instance *index*, placeholders substituted."""
+        values = self.parameters_for(template, index)
+
+        def substitute(match: re.Match[str]) -> str:
+            name = match.group(1)
+            if name not in values:
+                raise ModelError(
+                    f"template {template.name!r} has no parameter {name!r}"
+                )
+            return _sql_literal(values[name])
+
+        return _PARAM_RE.sub(substitute, template.sql)
+
+    def stream(self, template: QueryTemplate, count: int) -> list[str]:
+        """A repeatable stream of *count* query instances."""
+        return [self.instantiate(template, i) for i in range(count)]
+
+    # -- parameter drawing -----------------------------------------------------
+
+    def _field_info(self, table: str, column: str) -> tuple[Field, "_FieldModel"]:
+        field = self.schema.table_by_name(table).field_by_name(column)
+        return field, _analyze_field(self.schema, field, self.artifacts)
+
+    def _draw(self, spec: ParameterSpec, rng: XorShift64Star) -> object:
+        _field, model = self._field_info(spec.table, spec.column)
+        if spec.kind == "dictionary":
+            if model.dictionary is None:
+                raise ModelError(
+                    f"{spec.table}.{spec.column} has no dictionary to draw from"
+                )
+            return model.dictionary.sample(rng)
+        if spec.kind == "numeric":
+            if model.numeric_bounds is None:
+                raise ModelError(f"{spec.table}.{spec.column} is not numeric")
+            low, high = model.numeric_bounds
+            if model.is_integer:
+                return int(low + rng.next_long(int(high - low) + 1))
+            return low + rng.next_double() * (high - low)
+        if spec.kind == "date":
+            if model.date_bounds is None:
+                raise ModelError(f"{spec.table}.{spec.column} is not a date")
+            low, high = model.date_bounds
+            span = high.toordinal() - low.toordinal() + 1
+            return datetime.date.fromordinal(low.toordinal() + rng.next_long(span))
+        raise ModelError(f"unknown parameter kind {spec.kind!r}")
+
+
+# -- field analysis shared by parameter drawing and virtual execution ---------
+
+
+@dataclass
+class _FieldModel:
+    """What the model knows about a field's value distribution."""
+
+    null_probability: float = 0.0
+    numeric_bounds: tuple[float, float] | None = None
+    is_integer: bool = False
+    date_bounds: tuple[datetime.date, datetime.date] | None = None
+    dictionary: WeightedDictionary | None = None
+    id_like: bool = False
+    # Rounding step of a DoubleGenerator with `places` (e.g. 0.01 for
+    # money columns); discretization widens range selectivities.
+    rounding_step: float = 0.0
+
+
+def _analyze_field(
+    schema: Schema, field: Field, artifacts: ArtifactStore
+) -> _FieldModel:
+    model = _FieldModel()
+    spec = field.generator
+    if spec.name == "NullGenerator":
+        model.null_probability = float(spec.params.get("probability", 0.0))
+        spec = spec.child()
+
+    def resolve(value: object, default: float) -> float:
+        if value is None:
+            return default
+        if isinstance(value, (int, float)):
+            return float(value)
+        return float(schema.properties.evaluate_expression(str(value)))
+
+    if spec.name in ("LongGenerator", "IntGenerator"):
+        default_max = 2**63 - 1 if spec.name == "LongGenerator" else 2**31 - 1
+        model.numeric_bounds = (
+            resolve(spec.params.get("min"), 0),
+            resolve(spec.params.get("max"), default_max),
+        )
+        model.is_integer = True
+    elif spec.name == "DoubleGenerator":
+        model.numeric_bounds = (
+            resolve(spec.params.get("min"), 0.0),
+            resolve(spec.params.get("max"), 1.0),
+        )
+        places = spec.params.get("places")
+        if places is not None:
+            model.rounding_step = 10.0 ** -int(places)
+    elif spec.name == "IdGenerator":
+        base = int(resolve(spec.params.get("base"), 1))
+        step = int(resolve(spec.params.get("step"), 1))
+        size = schema.table_size(_owning_table(schema, field))
+        model.numeric_bounds = (base, base + max(size - 1, 0) * step)
+        model.is_integer = True
+        model.id_like = True
+    elif spec.name == "DateGenerator":
+        low = spec.params.get("min", "1992-01-01")
+        high = spec.params.get("max", "1998-12-31")
+        model.date_bounds = (
+            low if isinstance(low, datetime.date) else datetime.date.fromisoformat(str(low)),
+            high if isinstance(high, datetime.date) else datetime.date.fromisoformat(str(high)),
+        )
+    elif spec.name == "DictListGenerator":
+        name = spec.params.get("dictionary")
+        if name is not None and str(name) in artifacts:
+            artifact = artifacts.get(str(name))
+            if isinstance(artifact, WeightedDictionary):
+                model.dictionary = artifact
+        elif spec.params.get("values"):
+            values = [str(v) for v in spec.params["values"]]  # type: ignore[index]
+            weights = spec.params.get("weights")
+            if weights is not None:
+                from repro.text.dictionary import DictionaryEntry
+
+                total = sum(float(w) for w in weights)  # type: ignore[union-attr]
+                model.dictionary = WeightedDictionary([
+                    DictionaryEntry(v, float(w) / total)
+                    for v, w in zip(values, weights)  # type: ignore[arg-type]
+                ])
+            else:
+                model.dictionary = WeightedDictionary.uniform(values)
+    return model
+
+
+def _owning_table(schema: Schema, field: Field) -> str:
+    for table in schema.tables:
+        if any(f is field for f in table.fields):
+            return table.name
+    raise ModelError(f"field {field.name!r} belongs to no table")
+
+
+# -- virtual execution ---------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PredictedValue:
+    """One aggregate's prediction with an uncertainty band.
+
+    ``value`` is the expectation; ``tolerance`` a relative band within
+    which a faithful data set's actual result should fall (derived from
+    sampling variance at the modelled row count).
+    """
+
+    value: float | None
+    tolerance: float
+
+
+class VirtualExecutor:
+    """Evaluates filter-aggregate queries against the model.
+
+    ``mode="analytic"`` computes expectations in closed form from the
+    generators' distributions — no data is generated at all.
+    ``mode="exact"`` streams the table through the engine and evaluates
+    the query on the fly (still never materializing the data set).
+    """
+
+    def __init__(
+        self,
+        schema: Schema,
+        artifacts: ArtifactStore | None = None,
+    ) -> None:
+        self.schema = schema
+        self.artifacts = artifacts or ArtifactStore()
+
+    # -- analytic path -----------------------------------------------------------
+
+    def _selectivity(self, table: str, predicate: Predicate) -> float:
+        field = self.schema.table_by_name(table).field_by_name(predicate.column)
+        model = _analyze_field(self.schema, field, self.artifacts)
+        not_null = 1.0 - model.null_probability
+
+        if predicate.op is Op.IS_NULL:
+            return model.null_probability
+        if predicate.op is Op.NOT_NULL:
+            return not_null
+
+        if model.dictionary is not None:
+            return not_null * _dictionary_selectivity(model.dictionary, predicate)
+        if model.numeric_bounds is not None:
+            return not_null * _range_selectivity(
+                model.numeric_bounds[0], model.numeric_bounds[1],
+                predicate, integer=model.is_integer,
+                rounding_step=model.rounding_step,
+            )
+        if model.date_bounds is not None:
+            low, high = model.date_bounds
+            return not_null * _range_selectivity(
+                low.toordinal(), high.toordinal(),
+                _ordinalize(predicate), integer=True,
+            )
+        raise GenerationError(
+            f"cannot estimate selectivity of {predicate.to_sql()!r}: "
+            f"unsupported generator for column {predicate.column!r}"
+        )
+
+    def _column_mean(self, table: str, column: str, predicates: list[Predicate]) -> float:
+        """Expected value of a column, conditioned on range predicates on
+        the same column (other columns are independent)."""
+        field = self.schema.table_by_name(table).field_by_name(column)
+        model = _analyze_field(self.schema, field, self.artifacts)
+        if model.numeric_bounds is None:
+            raise GenerationError(f"column {column!r} is not numeric")
+        low, high = model.numeric_bounds
+        for predicate in predicates:
+            if predicate.column != column:
+                continue
+            low, high = _tighten(low, high, predicate)
+        return (low + high) / 2.0
+
+    def predict(self, query: Query) -> dict[str, PredictedValue]:
+        """Closed-form expectations for the query's aggregates."""
+        size = self.schema.table_size(query.table)
+        selectivity = 1.0
+        for predicate in query.predicates:
+            selectivity *= self._selectivity(query.table, predicate)
+        expected_rows = size * selectivity
+
+        # Binomial standard deviation drives the tolerance band.
+        import math
+
+        sigma = math.sqrt(max(size * selectivity * (1 - selectivity), 0.0))
+        count_tolerance = (
+            (4 * sigma / expected_rows) if expected_rows > 0 else 1.0
+        )
+        count_tolerance = min(max(count_tolerance, 0.02), 1.0)
+
+        out: dict[str, PredictedValue] = {}
+        for aggregate in query.aggregates:
+            key = aggregate.to_sql()
+            if aggregate.func == "count":
+                out[key] = PredictedValue(expected_rows, count_tolerance)
+                continue
+            assert aggregate.column is not None
+            mean = self._column_mean(
+                query.table, aggregate.column, query.predicates
+            )
+            if aggregate.func == "avg":
+                out[key] = PredictedValue(mean, max(count_tolerance, 0.1))
+            elif aggregate.func == "sum":
+                out[key] = PredictedValue(
+                    expected_rows * mean, max(count_tolerance, 0.1)
+                )
+            elif aggregate.func in ("min", "max"):
+                field = self.schema.table_by_name(query.table).field_by_name(
+                    aggregate.column
+                )
+                model = _analyze_field(self.schema, field, self.artifacts)
+                if model.numeric_bounds is None:
+                    raise GenerationError(f"{aggregate.column!r} is not numeric")
+                low, high = model.numeric_bounds
+                for predicate in query.predicates:
+                    if predicate.column == aggregate.column:
+                        low, high = _tighten(low, high, predicate)
+                value = low if aggregate.func == "min" else high
+                out[key] = PredictedValue(value, 0.1)
+            else:
+                raise GenerationError(f"unsupported aggregate {aggregate.func!r}")
+        return out
+
+    # -- exact path -------------------------------------------------------------
+
+    def execute(self, query: Query) -> dict[str, float | None]:
+        """Evaluate the query by streaming generated rows (no
+        materialization, no database)."""
+        engine = GenerationEngine(self.schema, self.artifacts)
+        bound = engine.bound_table(query.table)
+        indices = {
+            column: bound.table.field_index(column)
+            for column in (
+                {p.column for p in query.predicates}
+                | {a.column for a in query.aggregates if a.column}
+            )
+        }
+        count = 0
+        sums: dict[str, float] = {}
+        mins: dict[str, float] = {}
+        maxs: dict[str, float] = {}
+        # Accumulate each column once even when several aggregates
+        # (e.g. SUM and AVG) reference it.
+        aggregate_columns = sorted(
+            {a.column for a in query.aggregates if a.column is not None}
+        )
+        for row in engine.iter_rows(query.table):
+            if not all(_matches(row[indices[p.column]], p) for p in query.predicates):
+                continue
+            count += 1
+            for column in aggregate_columns:
+                value = row[indices[column]]
+                if value is None:
+                    continue
+                number = _as_number(value)
+                sums[column] = sums.get(column, 0.0) + number
+                mins[column] = min(mins.get(column, number), number)
+                maxs[column] = max(maxs.get(column, number), number)
+
+        out: dict[str, float | None] = {}
+        for aggregate in query.aggregates:
+            key = aggregate.to_sql()
+            if aggregate.func == "count":
+                out[key] = count
+            elif aggregate.func == "sum":
+                out[key] = sums.get(aggregate.column)  # type: ignore[arg-type]
+            elif aggregate.func == "avg":
+                total = sums.get(aggregate.column)  # type: ignore[arg-type]
+                out[key] = total / count if total is not None and count else None
+            elif aggregate.func == "min":
+                out[key] = mins.get(aggregate.column)  # type: ignore[arg-type]
+            elif aggregate.func == "max":
+                out[key] = maxs.get(aggregate.column)  # type: ignore[arg-type]
+        return out
+
+    def verification_result(self, query: Query) -> dict[str, PredictedValue]:
+        """Predictions packaged as verification results for a benchmark
+        run (the §7 "verification results for queries" deliverable)."""
+        return self.predict(query)
+
+
+# -- helpers -------------------------------------------------------------------
+
+
+def _as_number(value: object) -> float:
+    if isinstance(value, bool):
+        return float(value)
+    if isinstance(value, (int, float)):
+        return float(value)
+    if isinstance(value, datetime.date):
+        return float(value.toordinal())
+    raise GenerationError(f"non-numeric value {value!r} in aggregate")
+
+
+def _matches(value: object, predicate: Predicate) -> bool:
+    if predicate.op is Op.IS_NULL:
+        return value is None
+    if predicate.op is Op.NOT_NULL:
+        return value is not None
+    if value is None:
+        return False
+    if predicate.op is Op.IN:
+        return value in predicate.value or str(value) in predicate.value  # type: ignore[operator]
+    if isinstance(predicate.value, str) or isinstance(value, str):
+        left, right = str(value), str(predicate.value)
+        right2 = str(predicate.value2) if predicate.value2 is not None else None
+    else:
+        left = _as_number(value)
+        right = _as_number(predicate.value)
+        right2 = _as_number(predicate.value2) if predicate.value2 is not None else None
+    if isinstance(value, datetime.date) and isinstance(predicate.value, datetime.date):
+        left, right = value, predicate.value  # type: ignore[assignment]
+        right2 = predicate.value2  # type: ignore[assignment]
+    if predicate.op is Op.EQ:
+        return left == right
+    if predicate.op is Op.LT:
+        return left < right
+    if predicate.op is Op.LE:
+        return left <= right
+    if predicate.op is Op.GT:
+        return left > right
+    if predicate.op is Op.GE:
+        return left >= right
+    if predicate.op is Op.BETWEEN:
+        return right <= left <= right2  # type: ignore[operator]
+    raise GenerationError(f"unsupported operator {predicate.op}")
+
+
+def _dictionary_selectivity(
+    dictionary: WeightedDictionary, predicate: Predicate
+) -> float:
+    weights = {entry.value: entry.weight for entry in dictionary.entries}
+    if predicate.op is Op.EQ:
+        return weights.get(str(predicate.value), 0.0)
+    if predicate.op is Op.IN:
+        return sum(weights.get(str(v), 0.0) for v in predicate.value)  # type: ignore[union-attr]
+    raise GenerationError(
+        f"operator {predicate.op} not supported on dictionary columns"
+    )
+
+
+def _range_selectivity(
+    low: float,
+    high: float,
+    predicate: Predicate,
+    integer: bool,
+    rounding_step: float = 0.0,
+) -> float:
+    span = (high - low + 1) if integer else (high - low)
+    if span <= 0:
+        return 0.0
+    # A value rounded to `rounding_step` equals v when the raw draw falls
+    # within v ± step/2, so comparisons against rounded values shift by
+    # half a step. Integers use the unit-step equivalent directly.
+    half = rounding_step / 2.0
+
+    def clamp(x: float) -> float:
+        return min(max(x, low), high + (1 if integer else 0))
+
+    value = _as_number(predicate.value) if predicate.value is not None else None
+    if predicate.op is Op.EQ:
+        if integer:
+            return (1.0 / span) if low <= value <= high else 0.0  # type: ignore[operator]
+        if rounding_step > 0 and low <= value <= high:  # type: ignore[operator]
+            return min(rounding_step / span, 1.0)
+        return 0.0
+    if predicate.op in (Op.LT, Op.LE):
+        if integer:
+            upper = value + (1 if predicate.op is Op.LE else 0)  # type: ignore[operator]
+        else:
+            upper = value + (half if predicate.op is Op.LE else -half)  # type: ignore[operator]
+        return max(min((clamp(upper) - low) / span, 1.0), 0.0)
+    if predicate.op in (Op.GT, Op.GE):
+        if integer:
+            lower = value + (1 if predicate.op is Op.GT else 0)  # type: ignore[operator]
+        else:
+            lower = value + (half if predicate.op is Op.GT else -half)  # type: ignore[operator]
+        return max(min((high + (1 if integer else 0) - clamp(lower)) / span, 1.0), 0.0)
+    if predicate.op is Op.BETWEEN:
+        value2 = _as_number(predicate.value2)
+        if integer:
+            lower = clamp(value)  # type: ignore[arg-type]
+            upper = clamp(value2 + 1)
+        else:
+            lower = clamp(value - half)  # type: ignore[operator]
+            upper = clamp(value2 + half)
+        return max((upper - lower) / span, 0.0)
+    if predicate.op is Op.IN:
+        if integer:
+            hits = sum(
+                1 for v in predicate.value if low <= _as_number(v) <= high  # type: ignore[union-attr]
+            )
+            return hits / span
+        if rounding_step > 0:
+            hits = sum(
+                1 for v in predicate.value if low <= _as_number(v) <= high  # type: ignore[union-attr]
+            )
+            return min(hits * rounding_step / span, 1.0)
+        return 0.0
+    raise GenerationError(f"unsupported operator {predicate.op} on ranges")
+
+
+def _tighten(low: float, high: float, predicate: Predicate) -> tuple[float, float]:
+    if predicate.op in (Op.LT, Op.LE):
+        return low, min(high, _as_number(predicate.value))
+    if predicate.op in (Op.GT, Op.GE):
+        return max(low, _as_number(predicate.value)), high
+    if predicate.op is Op.BETWEEN:
+        return (
+            max(low, _as_number(predicate.value)),
+            min(high, _as_number(predicate.value2)),
+        )
+    if predicate.op is Op.EQ:
+        value = _as_number(predicate.value)
+        return value, value
+    return low, high
+
+
+def _ordinalize(predicate: Predicate) -> Predicate:
+    """Map a date predicate onto ordinal-day space."""
+
+    def convert(value: object) -> object:
+        if isinstance(value, datetime.date):
+            return value.toordinal()
+        if isinstance(value, str):
+            return datetime.date.fromisoformat(value).toordinal()
+        return value
+
+    return Predicate(
+        predicate.column,
+        predicate.op,
+        convert(predicate.value),
+        convert(predicate.value2),
+    )

@@ -1,0 +1,134 @@
+"""The column-name rule engine.
+
+"DBSynth also features a rule based system that searches for key words
+in the schema information and adds predefined generation rules to the
+data model. For example, numeric columns with name key or id will be
+generated with an ID generator." (paper §3)
+
+Rules match (normalized) column names against keyword patterns and map
+to generator constructs. The default rule set covers the paper's
+examples (key/id, name, address, comment) plus the other built-in
+high-level generators (phone, email, url, city, country, date-ish
+names). Rules are ordered; the first match wins, and users can prepend
+their own rules.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.model.datatypes import TypeFamily
+from repro.model.schema import GeneratorSpec
+
+
+@dataclass(frozen=True)
+class NameRule:
+    """One keyword rule.
+
+    ``pattern`` is matched (re.search) against the lowercased column
+    name; ``families`` restricts the rule to columns of those type
+    families (None = any); ``build`` produces the generator spec.
+    """
+
+    name: str
+    pattern: str
+    build: Callable[[], GeneratorSpec]
+    families: tuple[TypeFamily, ...] | None = None
+
+    def matches(self, column_name: str, family: TypeFamily | None) -> bool:
+        if self.families is not None and family not in self.families:
+            return False
+        return re.search(self.pattern, column_name.lower()) is not None
+
+
+_NUMERIC = (TypeFamily.INTEGER, TypeFamily.DECIMAL, TypeFamily.FLOAT)
+_TEXTUAL = (TypeFamily.TEXT,)
+
+
+def default_rules() -> list[NameRule]:
+    """The built-in rule set, most specific first."""
+    return [
+        NameRule(
+            "id-key",
+            r"(id|key)$|(^|_)(id|key)(_|$)",
+            lambda: GeneratorSpec("IdGenerator"),
+            families=_NUMERIC,
+        ),
+        NameRule(
+            "email",
+            r"e?mail",
+            lambda: GeneratorSpec("EmailGenerator"),
+            families=_TEXTUAL,
+        ),
+        NameRule(
+            "url",
+            r"url|website|homepage|link",
+            lambda: GeneratorSpec("UrlGenerator"),
+            families=_TEXTUAL,
+        ),
+        NameRule(
+            "phone",
+            r"phone|fax|mobile|tel(_|$)",
+            lambda: GeneratorSpec("PhoneGenerator"),
+            families=_TEXTUAL,
+        ),
+        NameRule(
+            "address",
+            r"address|street",
+            lambda: GeneratorSpec("AddressGenerator"),
+            families=_TEXTUAL,
+        ),
+        NameRule(
+            "city",
+            r"city|town",
+            lambda: GeneratorSpec("CityGenerator"),
+            families=_TEXTUAL,
+        ),
+        NameRule(
+            "country",
+            r"country|nation",
+            lambda: GeneratorSpec("CountryGenerator"),
+            families=_TEXTUAL,
+        ),
+        NameRule(
+            "person-name",
+            r"(first|last|full|user|person|customer|contact)[_]?name|(^|_)name$",
+            lambda: GeneratorSpec("PersonNameGenerator"),
+            families=_TEXTUAL,
+        ),
+        NameRule(
+            "company",
+            r"company|vendor|supplier|manufacturer|brand",
+            lambda: GeneratorSpec("CompanyNameGenerator"),
+            families=_TEXTUAL,
+        ),
+        NameRule(
+            "comment-text",
+            r"comment|description|remark|note|review|text|plot|summary|bio",
+            lambda: GeneratorSpec("TextGenerator"),
+            families=_TEXTUAL,
+        ),
+    ]
+
+
+class RuleEngine:
+    """Applies an ordered rule list to columns."""
+
+    def __init__(self, rules: list[NameRule] | None = None) -> None:
+        self.rules = list(rules) if rules is not None else default_rules()
+
+    def prepend(self, rule: NameRule) -> None:
+        """Give a custom rule highest priority."""
+        self.rules.insert(0, rule)
+
+    def match(self, column_name: str, family: TypeFamily | None) -> GeneratorSpec | None:
+        """The first matching rule's generator spec, or None."""
+        for rule in self.rules:
+            if rule.matches(column_name, family):
+                return rule.build()
+        return None
+
+    def rule_names(self) -> list[str]:
+        return [rule.name for rule in self.rules]

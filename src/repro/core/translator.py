@@ -1,0 +1,28 @@
+"""Schema translator: model → target database DDL.
+
+"Using the generated data model, PDGF can generate the data. The model
+is translated into a SQL schema, which is loaded into the target
+database" (paper §3, the Schema Translator box of Figure 3).
+"""
+
+from __future__ import annotations
+
+from repro.db.adapter import DatabaseAdapter
+from repro.db.ddl import create_schema_sql
+from repro.model.schema import Schema
+
+
+class SchemaTranslator:
+    """Emits and applies DDL for a model."""
+
+    def __init__(self, dialect: str = "sqlite", include_foreign_keys: bool = True):
+        self.dialect = dialect
+        self.include_foreign_keys = include_foreign_keys
+
+    def to_sql(self, schema: Schema) -> str:
+        """The CREATE TABLE script, dependency ordered."""
+        return create_schema_sql(schema, self.dialect, self.include_foreign_keys)
+
+    def apply(self, schema: Schema, adapter: DatabaseAdapter) -> None:
+        """Create the schema in the target database."""
+        adapter.execute_script(self.to_sql(schema))

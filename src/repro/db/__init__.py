@@ -1,0 +1,15 @@
+"""Database substrate: adapter interface, SQLite implementation, DDL."""
+
+from repro.db.adapter import ColumnInfo, DatabaseAdapter, ForeignKeyInfo
+from repro.db.ddl import create_schema_sql, create_table_sql, render_type
+from repro.db.sqlite_adapter import SQLiteAdapter
+
+__all__ = [
+    "ColumnInfo",
+    "DatabaseAdapter",
+    "ForeignKeyInfo",
+    "create_schema_sql",
+    "create_table_sql",
+    "render_type",
+    "SQLiteAdapter",
+]

@@ -1,0 +1,257 @@
+"""The generation engine — PDGF's controller.
+
+Binds a :class:`~repro.model.schema.Schema` to runnable generators,
+wires the seeding hierarchy, and exposes the core primitive everything
+else is built on: *compute the value of any cell in O(1)*. On top of
+that primitive sit row iteration, previews (the paper's instant preview
+generation), sibling/foreign recomputation for dependent values, and the
+schedulers for parallel runs.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.exceptions import GenerationError, ModelError
+from repro.generators.base import (
+    ArtifactStore,
+    BindContext,
+    GenerationContext,
+)
+from repro.generators.registry import build_bound
+from repro.model.schema import Schema, Table
+from repro.model.validation import ensure_valid
+from repro.output.rows import ValueFormatter
+from repro.prng.seeding import ColumnSeeder, SeedHierarchy
+from repro.prng.xorshift import XorShift64Star, mix64
+
+_MAX_DEPENDENCY_DEPTH = 16
+
+
+class BoundTable:
+    """A table with its generators instantiated and seeders resolved.
+
+    ``generate_row`` is the inner loop of every worker: one seed
+    derivation + one reseed + one generate call per field.
+    """
+
+    __slots__ = ("table", "column_names", "_generators", "_seeders")
+
+    def __init__(
+        self,
+        table: Table,
+        hierarchy: SeedHierarchy,
+        bind_contexts: list[BindContext],
+        update: int = 0,
+    ) -> None:
+        self.table = table
+        self.column_names = [f.name for f in table.fields]
+        self._generators = [
+            build_bound(field.generator, ctx)
+            for field, ctx in zip(table.fields, bind_contexts)
+        ]
+        self._seeders = [
+            ColumnSeeder(hierarchy, table.name, field.name, update)
+            for field in table.fields
+        ]
+
+    def generate_row(self, row: int, ctx: GenerationContext) -> list[object]:
+        """All field values of one row.
+
+        The row is hashed once (one ``mix64`` shared by all columns) and
+        values are published into the context as they are produced, so
+        formula/switch generators referencing earlier fields read them
+        back instead of recomputing.
+        """
+        ctx.row = row
+        rng = ctx.rng
+        row_hash = mix64(row)
+        values: list[object] = []
+        ctx.row_values = values
+        try:
+            for seeder, generator in zip(self._seeders, self._generators):
+                rng.reseed_mixed(seeder.seed_from_row_hash(row_hash))
+                values.append(generator.generate(ctx))
+        finally:
+            ctx.row_values = None
+        return values
+
+    def generate_value(self, column_index: int, row: int, ctx: GenerationContext) -> object:
+        """One cell — the recomputation primitive.
+
+        Must derive exactly the same PRNG state as :meth:`generate_row`
+        (``reseed_mixed`` over the hierarchy seed), or recomputed
+        references and formulas would disagree with the emitted data.
+        """
+        ctx.row = row
+        ctx.rng.reseed_mixed(self._seeders[column_index].seed_for_row(row))
+        return self._generators[column_index].generate(ctx)
+
+    def field_index(self, name: str) -> int:
+        return self.table.field_index(name)
+
+    @property
+    def generators(self) -> list:
+        return list(self._generators)
+
+
+class GenerationEngine:
+    """Runs a model: deterministic value computation plus iteration.
+
+    ``artifacts`` supplies DBSynth-built dictionaries and Markov models;
+    ``update`` selects the abstract time unit (0 = base data). The engine
+    validates the model on construction — invalid models must not reach
+    workers (paper's controller initializes the system up front).
+    """
+
+    def __init__(
+        self,
+        schema: Schema,
+        artifacts: ArtifactStore | None = None,
+        update: int = 0,
+    ) -> None:
+        ensure_valid(schema)
+        self.schema = schema
+        self.artifacts = artifacts or ArtifactStore()
+        self.update = update
+        self.hierarchy = SeedHierarchy(schema.seed)
+        self.sizes = schema.sizes()
+
+        self._tables: dict[str, BoundTable] = {}
+        for table in schema.tables:
+            contexts = [
+                BindContext(
+                    schema=schema,
+                    table=table,
+                    field=field,
+                    properties=schema.properties,
+                    artifacts=self.artifacts,
+                    table_sizes=self.sizes,
+                )
+                for field in table.fields
+            ]
+            self._tables[table.name] = BoundTable(
+                table, self.hierarchy, contexts, update
+            )
+        self._local = threading.local()
+
+    # -- contexts ----------------------------------------------------------
+
+    def new_context(self, table_name: str) -> GenerationContext:
+        """A per-worker context wired for sibling/foreign recomputation."""
+        ctx = GenerationContext(rng=XorShift64Star())
+        ctx.compute_sibling = self._sibling_computer(table_name)
+        ctx.compute_foreign = self.compute_value
+        bound = self._tables.get(table_name)
+        if bound is not None:
+            ctx.field_indices = {
+                name: index for index, name in enumerate(bound.column_names)
+            }
+        return ctx
+
+    def _sibling_computer(self, table_name: str):
+        def compute(field_name: str, row: int) -> object:
+            return self.compute_value(table_name, field_name, row)
+
+        return compute
+
+    def _scratch(self) -> "_ScratchState":
+        state = getattr(self._local, "scratch", None)
+        if state is None:
+            state = _ScratchState()
+            self._local.scratch = state
+        return state
+
+    # -- the core primitive --------------------------------------------------
+
+    def compute_value(self, table_name: str, field_name: str, row: int) -> object:
+        """Recompute one cell without generating anything else.
+
+        This is PDGF's computational dependency resolution: references
+        and formulas call back into this instead of reading previously
+        generated output. Nested recomputation is allowed up to a fixed
+        depth to catch cyclic field dependencies.
+        """
+        bound = self._bound(table_name)
+        size = self.sizes[table_name]
+        if not 0 <= row < size:
+            raise GenerationError(
+                f"row {row} outside table {table_name!r} (size {size})"
+            )
+        state = self._scratch()
+        if state.depth >= _MAX_DEPENDENCY_DEPTH:
+            raise GenerationError(
+                f"dependency depth exceeded computing {table_name}.{field_name}; "
+                "cyclic field dependency?"
+            )
+        ctx = state.acquire(self, table_name)
+        state.depth += 1
+        try:
+            return bound.generate_value(bound.field_index(field_name), row, ctx)
+        finally:
+            state.depth -= 1
+            state.release(ctx)
+
+    # -- iteration -----------------------------------------------------------
+
+    def _bound(self, table_name: str) -> BoundTable:
+        bound = self._tables.get(table_name)
+        if bound is None:
+            raise ModelError(f"no such table {table_name!r}")
+        return bound
+
+    def bound_table(self, table_name: str) -> BoundTable:
+        return self._bound(table_name)
+
+    def generate_row(self, table_name: str, row: int) -> list[object]:
+        """All values of one row (fresh context; use iter_rows in loops)."""
+        bound = self._bound(table_name)
+        return bound.generate_row(row, self.new_context(table_name))
+
+    def iter_rows(self, table_name: str, start: int = 0, stop: int | None = None):
+        """Yield rows ``start..stop`` of a table as value lists."""
+        bound = self._bound(table_name)
+        size = self.sizes[table_name]
+        if stop is None or stop > size:
+            stop = size
+        ctx = self.new_context(table_name)
+        for row in range(start, stop):
+            yield bound.generate_row(row, ctx)
+
+    def preview(
+        self, table_name: str, rows: int = 10, formatter: ValueFormatter | None = None
+    ) -> list[list[str]]:
+        """First *rows* rows, formatted — PDGF's instant preview that lets
+        users iterate on a model without a full run (paper §4)."""
+        formatter = formatter or ValueFormatter(null_token="NULL")
+        return [
+            [formatter.format(v) for v in values]
+            for values in self.iter_rows(table_name, 0, rows)
+        ]
+
+    def total_rows(self) -> int:
+        return sum(self.sizes.values())
+
+
+class _ScratchState:
+    """Thread-local pool of recompute contexts (avoids per-call allocation
+    in the reference generator's hot path)."""
+
+    __slots__ = ("depth", "_pool")
+
+    def __init__(self) -> None:
+        self.depth = 0
+        self._pool: list[GenerationContext] = []
+
+    def acquire(self, engine: GenerationEngine, table_name: str) -> GenerationContext:
+        if self._pool:
+            ctx = self._pool.pop()
+        else:
+            ctx = GenerationContext(rng=XorShift64Star())
+        ctx.compute_sibling = engine._sibling_computer(table_name)
+        ctx.compute_foreign = engine.compute_value
+        return ctx
+
+    def release(self, ctx: GenerationContext) -> None:
+        if len(self._pool) < _MAX_DEPENDENCY_DEPTH:
+            self._pool.append(ctx)

@@ -1,0 +1,89 @@
+"""Conditional meta generators: probability switch and value switch.
+
+Meta generators "execute different generators based on certain
+conditions" (paper §2). Two conditions are supported: a probability
+split over children, and a switch on a sibling field's value (which is
+recomputed, never read back).
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import ModelError
+from repro.generators.base import BindContext, GenerationContext, Generator
+from repro.generators.registry import build, register
+from repro.prng.distributions import Categorical
+
+
+@register("ProbabilityGenerator")
+class ProbabilityGenerator(Generator):
+    """Chooses one child per row according to ``weights``.
+
+    With ``n`` children and no weights, children are equally likely.
+    Exactly one random draw is consumed for the choice.
+    """
+
+    def __init__(self, spec) -> None:
+        super().__init__(spec)
+        if not spec.children:
+            raise ModelError("ProbabilityGenerator needs at least one child")
+        self._children = [build(child) for child in spec.children]
+
+    def bind(self, ctx: BindContext) -> None:
+        weights = self.spec.params.get("weights")
+        if weights is not None and len(weights) != len(self._children):  # type: ignore[arg-type]
+            raise ModelError(
+                f"{len(self._children)} children but {len(weights)} weights"  # type: ignore[arg-type]
+            )
+        self._chooser = Categorical(
+            list(range(len(self._children))),
+            [float(w) for w in weights] if weights is not None else None,  # type: ignore[union-attr]
+        )
+        for child in self._children:
+            child.bind(ctx)
+
+    def generate(self, ctx: GenerationContext) -> object:
+        index = self._chooser.sample_index(ctx.rng)
+        return self._children[index].generate(ctx)
+
+
+@register("SwitchGenerator")
+class SwitchGenerator(Generator):
+    """Chooses a child based on a sibling field's (recomputed) value.
+
+    Parameters: ``field`` (the sibling to inspect) and ``cases`` (a list
+    of values, one per child; the last child is the default when no case
+    matches and there is one more child than cases).
+    """
+
+    def __init__(self, spec) -> None:
+        super().__init__(spec)
+        if not spec.children:
+            raise ModelError("SwitchGenerator needs at least one child")
+        self._children = [build(child) for child in spec.children]
+
+    def bind(self, ctx: BindContext) -> None:
+        field = self.spec.params.get("field")
+        if not field:
+            raise ModelError("SwitchGenerator requires a field parameter")
+        self._field = str(field)
+        cases = self.spec.params.get("cases")
+        if not isinstance(cases, (list, tuple)):
+            raise ModelError("SwitchGenerator requires a cases list")
+        if len(cases) not in (len(self._children), len(self._children) - 1):
+            raise ModelError(
+                f"{len(self._children)} children need {len(self._children)} or "
+                f"{len(self._children) - 1} cases, got {len(cases)}"
+            )
+        self._cases = [str(c) for c in cases]
+        self._has_default = len(cases) == len(self._children) - 1
+        for child in self._children:
+            child.bind(ctx)
+
+    def generate(self, ctx: GenerationContext) -> object:
+        value = str(ctx.sibling(self._field))
+        for index, case in enumerate(self._cases):
+            if value == case:
+                return self._children[index].generate(ctx)
+        if self._has_default:
+            return self._children[-1].generate(ctx)
+        return None

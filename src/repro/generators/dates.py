@@ -1,0 +1,80 @@
+"""Date and timestamp generators.
+
+Dates are generated as ordinal days (timestamps as epoch seconds) and
+only converted to :class:`datetime.date` objects at the boundary; string
+formatting is the output system's job (lazy formatting — paper Figure 9
+shows formatting dominates generation cost, so PDGF defers and caches it).
+"""
+
+from __future__ import annotations
+
+import datetime
+
+from repro.exceptions import ModelError
+from repro.generators.base import BindContext, GenerationContext, Generator
+from repro.generators.registry import register
+
+_EPOCH = datetime.date(1970, 1, 1)
+
+
+def _parse_date(value: object, default: datetime.date) -> datetime.date:
+    if value is None:
+        return default
+    if isinstance(value, datetime.date):
+        return value
+    try:
+        return datetime.date.fromisoformat(str(value))
+    except ValueError as exc:
+        raise ModelError(f"bad date literal {value!r}: {exc}") from exc
+
+
+@register("DateGenerator")
+class DateGenerator(Generator):
+    """Uniform dates in ``[min, max]`` (ISO strings in the model).
+
+    Defaults to the TPC-H population window 1992-01-01 .. 1998-12-31.
+    """
+
+    def bind(self, ctx: BindContext) -> None:
+        self._min = _parse_date(self.spec.params.get("min"), datetime.date(1992, 1, 1))
+        self._max = _parse_date(self.spec.params.get("max"), datetime.date(1998, 12, 31))
+        if self._max < self._min:
+            raise ModelError(f"DateGenerator: empty range [{self._min}, {self._max}]")
+        self._min_ordinal = self._min.toordinal()
+        self._span = self._max.toordinal() - self._min_ordinal + 1
+
+    def generate(self, ctx: GenerationContext) -> datetime.date:
+        return datetime.date.fromordinal(self._min_ordinal + ctx.rng.next_long(self._span))
+
+
+@register("TimestampGenerator")
+class TimestampGenerator(Generator):
+    """Uniform timestamps (second resolution) in ``[min, max]``."""
+
+    def bind(self, ctx: BindContext) -> None:
+        min_raw = self.spec.params.get("min")
+        max_raw = self.spec.params.get("max")
+        self._min = self._parse(min_raw, datetime.datetime(1992, 1, 1))
+        self._max = self._parse(max_raw, datetime.datetime(1998, 12, 31, 23, 59, 59))
+        if self._max < self._min:
+            raise ModelError(
+                f"TimestampGenerator: empty range [{self._min}, {self._max}]"
+            )
+        self._min_epoch = int(self._min.timestamp())
+        self._span = int(self._max.timestamp()) - self._min_epoch + 1
+
+    @staticmethod
+    def _parse(value: object, default: datetime.datetime) -> datetime.datetime:
+        if value is None:
+            return default
+        if isinstance(value, datetime.datetime):
+            return value
+        try:
+            return datetime.datetime.fromisoformat(str(value))
+        except ValueError as exc:
+            raise ModelError(f"bad timestamp literal {value!r}: {exc}") from exc
+
+    def generate(self, ctx: GenerationContext) -> datetime.datetime:
+        return datetime.datetime.fromtimestamp(
+            self._min_epoch + ctx.rng.next_long(self._span)
+        )

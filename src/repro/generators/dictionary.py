@@ -1,0 +1,89 @@
+"""Dictionary generator (PDGF's DictList).
+
+Draws values from a :class:`~repro.text.dictionary.WeightedDictionary`
+either by name from the model's artifact store (DBSynth-built
+dictionaries) or from an inline value list in the spec. The optional
+``unique_suffix`` mode extends the value domain for scale-out scenarios
+(paper §6: "DBSynth uses its built in dictionaries to increase the value
+domain in scale out scenarios") by appending a deterministic number to
+the base dictionary entry.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import GenerationError, ModelError
+from repro.generators.base import BindContext, GenerationContext, Generator
+from repro.generators.registry import register
+from repro.text.dictionary import WeightedDictionary
+
+
+@register("DictListGenerator")
+class DictListGenerator(Generator):
+    """Weighted pick from a dictionary.
+
+    Parameters:
+
+    * ``dictionary`` — artifact name (e.g. ``dict:c_mktsegment``), or
+    * ``values`` — inline list (optionally with ``weights``),
+    * ``unique_suffix`` — when truthy, append ``#<n>`` so the value
+      domain scales with the table instead of saturating.
+    """
+
+    def bind(self, ctx: BindContext) -> None:
+        name = self.spec.params.get("dictionary")
+        values = self.spec.params.get("values")
+        if name is not None:
+            artifact = ctx.artifacts.get(str(name))
+            if not isinstance(artifact, WeightedDictionary):
+                raise ModelError(f"artifact {name!r} is not a dictionary")
+            self._dictionary = artifact
+        elif values is not None:
+            if not isinstance(values, (list, tuple)) or not values:
+                raise ModelError("DictListGenerator values must be a non-empty list")
+            weights = self.spec.params.get("weights")
+            if weights is None:
+                self._dictionary = WeightedDictionary.uniform([str(v) for v in values])
+            else:
+                if len(weights) != len(values):  # type: ignore[arg-type]
+                    raise ModelError("values and weights lengths differ")
+                from repro.text.dictionary import DictionaryEntry
+
+                self._dictionary = WeightedDictionary(
+                    [
+                        DictionaryEntry(str(v), float(w))
+                        for v, w in zip(values, weights)  # type: ignore[arg-type]
+                    ]
+                )
+        else:
+            raise ModelError(
+                "DictListGenerator needs a dictionary artifact or inline values"
+            )
+        from repro.generators.base import as_bool
+
+        self._unique_suffix = as_bool(self.spec.params.get("unique_suffix"))
+        self._domain = int(self.spec.params.get("domain", 0) or 0)
+        self._by_row = as_bool(self.spec.params.get("by_row"))
+        self._as_int = as_bool(self.spec.params.get("as_int"))
+
+    def generate(self, ctx: GenerationContext) -> object:
+        if self._by_row:
+            # Positional assignment: row i gets entry i (mod size). Used
+            # for fixed enumerations such as TPC-H's nation/region names.
+            value = self._dictionary.pick(ctx.row)
+            return int(value) if self._as_int else value
+        value = self._dictionary.sample(ctx.rng)
+        if self._as_int:
+            return int(value)
+        if not self._unique_suffix:
+            return value
+        # Deterministic domain extension: the suffix is drawn from the
+        # same PRNG stream, so the pair (value, suffix) is repeatable.
+        domain = self._domain or max(len(self._dictionary) * 10, 1000)
+        return f"{value}#{ctx.rng.next_long(domain)}"
+
+    @property
+    def dictionary(self) -> WeightedDictionary:
+        dictionary = getattr(self, "_dictionary", None)
+        if dictionary is None:
+            raise GenerationError("DictListGenerator used before bind()")
+        return dictionary

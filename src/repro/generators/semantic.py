@@ -1,0 +1,151 @@
+"""High-level semantic generators: names, addresses, emails, phones, URLs.
+
+These are PDGF's "predefined generators for URLs, addresses, etc."
+(paper §3) that DBSynth's rule engine assigns when a column name matches
+a known semantic domain and the database cannot be sampled.
+"""
+
+from __future__ import annotations
+
+import string
+
+from repro.generators.base import BindContext, GenerationContext, Generator
+from repro.generators.registry import register
+from repro.text import corpus
+
+
+def _pick(rng, values: list[str]) -> str:
+    return values[rng.next_long(len(values))]
+
+
+@register("PersonNameGenerator")
+class PersonNameGenerator(Generator):
+    """``First Last`` names from the built-in name dictionaries.
+
+    ``style`` may be ``full`` (default), ``first``, or ``last``.
+    """
+
+    def bind(self, ctx: BindContext) -> None:
+        self._style = str(self.spec.params.get("style", "full"))
+
+    def generate(self, ctx: GenerationContext) -> str:
+        rng = ctx.rng
+        if self._style == "first":
+            return _pick(rng, corpus.FIRST_NAMES)
+        if self._style == "last":
+            return _pick(rng, corpus.LAST_NAMES)
+        return f"{_pick(rng, corpus.FIRST_NAMES)} {_pick(rng, corpus.LAST_NAMES)}"
+
+
+@register("CompanyNameGenerator")
+class CompanyNameGenerator(Generator):
+    """Two-word company names with a legal-form suffix."""
+
+    def generate(self, ctx: GenerationContext) -> str:
+        rng = ctx.rng
+        first = _pick(rng, corpus.COMPANY_WORDS)
+        second = _pick(rng, corpus.LAST_NAMES)
+        suffix = _pick(rng, corpus.COMPANY_SUFFIXES)
+        return f"{first} {second} {suffix}"
+
+
+@register("AddressGenerator")
+class AddressGenerator(Generator):
+    """``<number> <street> <suffix>, <city>`` street addresses."""
+
+    def generate(self, ctx: GenerationContext) -> str:
+        rng = ctx.rng
+        number = 1 + rng.next_long(9999)
+        street = _pick(rng, corpus.STREET_NAMES)
+        suffix = _pick(rng, corpus.STREET_SUFFIXES)
+        city = _pick(rng, corpus.CITIES)
+        return f"{number} {street} {suffix}, {city}"
+
+
+@register("CityGenerator")
+class CityGenerator(Generator):
+    def generate(self, ctx: GenerationContext) -> str:
+        return _pick(ctx.rng, corpus.CITIES)
+
+
+@register("CountryGenerator")
+class CountryGenerator(Generator):
+    def generate(self, ctx: GenerationContext) -> str:
+        return _pick(ctx.rng, corpus.COUNTRIES)
+
+
+@register("EmailGenerator")
+class EmailGenerator(Generator):
+    """``first.last<n>@domain`` addresses over the built-in domains."""
+
+    def generate(self, ctx: GenerationContext) -> str:
+        rng = ctx.rng
+        first = _pick(rng, corpus.FIRST_NAMES).lower()
+        last = _pick(rng, corpus.LAST_NAMES).lower()
+        number = rng.next_long(1000)
+        domain = _pick(rng, corpus.EMAIL_DOMAINS)
+        return f"{first}.{last}{number}@{domain}"
+
+
+@register("PhoneGenerator")
+class PhoneGenerator(Generator):
+    """TPC-H style phone numbers: ``CC-AAA-LLL-NNNN``."""
+
+    def generate(self, ctx: GenerationContext) -> str:
+        rng = ctx.rng
+        country = 10 + rng.next_long(25)
+        digits = string.digits
+        area = "".join(digits[rng.next_long(10)] for _ in range(3))
+        local1 = "".join(digits[rng.next_long(10)] for _ in range(3))
+        local2 = "".join(digits[rng.next_long(10)] for _ in range(4))
+        return f"{country}-{area}-{local1}-{local2}"
+
+
+@register("UrlGenerator")
+class UrlGenerator(Generator):
+    """``scheme://word-word.tld/word`` URLs from built-in word lists."""
+
+    def generate(self, ctx: GenerationContext) -> str:
+        rng = ctx.rng
+        scheme = _pick(rng, corpus.URL_SCHEMES)
+        host1 = _pick(rng, corpus.URL_HOST_WORDS)
+        host2 = _pick(rng, corpus.URL_HOST_WORDS)
+        tld = _pick(rng, corpus.TOP_LEVEL_DOMAINS)
+        path = _pick(rng, corpus.URL_HOST_WORDS)
+        return f"{scheme}://{host1}-{host2}.{tld}/{path}"
+
+
+@register("TextGenerator")
+class TextGenerator(Generator):
+    """Fallback prose generator over the built-in comment grammar.
+
+    Used when a text column should look like free text but no sample was
+    available to train a Markov chain. ``min``/``max`` bound the word
+    count.
+    """
+
+    def bind(self, ctx: BindContext) -> None:
+        self._min = int(ctx.resolve_numeric(self.spec.params.get("min"), 3))
+        self._max = int(ctx.resolve_numeric(self.spec.params.get("max"), 12))
+        max_chars = self.spec.params.get("max_chars")
+        if max_chars is None and ctx.field.dtype.length:
+            max_chars = ctx.field.dtype.length
+        self._max_chars = int(max_chars) if max_chars else None
+
+    def generate(self, ctx: GenerationContext) -> str:
+        rng = ctx.rng
+        count = self._min + rng.next_long(self._max - self._min + 1)
+        words: list[str] = []
+        while len(words) < count:
+            # Some corpus entries are multi-token ("pinto beans"); split so
+            # the word-count bound refers to actual tokens.
+            words.extend(_pick(rng, corpus.ADVERBS).split())
+            words.extend(_pick(rng, corpus.ADJECTIVES).split())
+            words.extend(_pick(rng, corpus.NOUNS).split())
+            words.extend(_pick(rng, corpus.VERBS).split())
+        text = " ".join(words[:count])
+        if self._max_chars is not None and len(text) > self._max_chars:
+            clipped = text[: self._max_chars]
+            space = clipped.rfind(" ")
+            text = clipped[:space] if space > 0 else clipped
+        return text

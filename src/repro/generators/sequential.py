@@ -1,0 +1,46 @@
+"""Sequential (concatenation) meta generator.
+
+PDGF's meta generators let complex values be defined functionally from
+simple building blocks (paper §2). The sequential generator runs its
+children in order and concatenates their formatted results — the paper's
+Figure 9 benchmarks exactly this shape ("Sequential (2 double + long)").
+"""
+
+from __future__ import annotations
+
+from repro.generators.base import BindContext, GenerationContext, Generator
+from repro.generators.registry import build, register
+
+
+@register("SequentialGenerator")
+class SequentialGenerator(Generator):
+    """Concatenates child values with ``separator`` (default ``""``).
+
+    ``template`` may alternatively hold ``{0}``-style placeholders that
+    the child values are substituted into.
+    """
+
+    def __init__(self, spec) -> None:
+        super().__init__(spec)
+        if not spec.children:
+            from repro.exceptions import ModelError
+
+            raise ModelError("SequentialGenerator needs at least one child")
+        self._children = [build(child) for child in spec.children]
+
+    def bind(self, ctx: BindContext) -> None:
+        self._separator = str(self.spec.params.get("separator", ""))
+        template = self.spec.params.get("template")
+        self._template = str(template) if template is not None else None
+        for child in self._children:
+            child.bind(ctx)
+
+    def generate(self, ctx: GenerationContext) -> str:
+        values = [child.generate(ctx) for child in self._children]
+        if self._template is not None:
+            return self._template.format(*values)
+        return self._separator.join("" if v is None else str(v) for v in values)
+
+    @property
+    def children(self) -> list[Generator]:
+        return list(self._children)

@@ -1,0 +1,29 @@
+"""Data model layer: datatypes, formulas, properties, schema, validation."""
+
+from repro.model.datatypes import DataType, SqlType, TypeFamily, parse_type, python_type_for
+from repro.model.properties import PropertyDef, PropertySet
+from repro.model.schema import Field, GeneratorSpec, Schema, Table
+from repro.model.validation import (
+    ensure_valid,
+    reference_graph,
+    topological_load_order,
+    validate_schema,
+)
+
+__all__ = [
+    "DataType",
+    "SqlType",
+    "TypeFamily",
+    "parse_type",
+    "python_type_for",
+    "PropertyDef",
+    "PropertySet",
+    "Field",
+    "GeneratorSpec",
+    "Schema",
+    "Table",
+    "ensure_valid",
+    "reference_graph",
+    "topological_load_order",
+    "validate_schema",
+]

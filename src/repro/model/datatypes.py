@@ -1,0 +1,154 @@
+"""SQL-92 data types as used by PDGF models and DBSynth extraction.
+
+DBSynth reads column types from a source database's catalog (strings such
+as ``VARCHAR(44)`` or ``DECIMAL(15,2)``) and PDGF needs them to choose
+generators and to emit DDL for the target database. This module gives a
+single normalized representation for both directions.
+"""
+
+from __future__ import annotations
+
+import enum
+import re
+from dataclasses import dataclass
+
+from repro.exceptions import ModelError
+
+
+class TypeFamily(enum.Enum):
+    """Coarse classification driving generator selection (paper §3:
+    "the data type determines if a number generator ... or a date
+    generator, or a text generator is used")."""
+
+    INTEGER = "integer"
+    FLOAT = "float"
+    DECIMAL = "decimal"
+    TEXT = "text"
+    DATE = "date"
+    TIME = "time"
+    TIMESTAMP = "timestamp"
+    BOOLEAN = "boolean"
+    BINARY = "binary"
+
+
+class SqlType(enum.Enum):
+    """The SQL-92 type names PDGF and DBSynth support."""
+
+    SMALLINT = ("SMALLINT", TypeFamily.INTEGER)
+    INTEGER = ("INTEGER", TypeFamily.INTEGER)
+    BIGINT = ("BIGINT", TypeFamily.INTEGER)
+    REAL = ("REAL", TypeFamily.FLOAT)
+    FLOAT = ("FLOAT", TypeFamily.FLOAT)
+    DOUBLE = ("DOUBLE PRECISION", TypeFamily.FLOAT)
+    DECIMAL = ("DECIMAL", TypeFamily.DECIMAL)
+    NUMERIC = ("NUMERIC", TypeFamily.DECIMAL)
+    CHAR = ("CHAR", TypeFamily.TEXT)
+    VARCHAR = ("VARCHAR", TypeFamily.TEXT)
+    TEXT = ("TEXT", TypeFamily.TEXT)
+    DATE = ("DATE", TypeFamily.DATE)
+    TIME = ("TIME", TypeFamily.TIME)
+    TIMESTAMP = ("TIMESTAMP", TypeFamily.TIMESTAMP)
+    BOOLEAN = ("BOOLEAN", TypeFamily.BOOLEAN)
+    BLOB = ("BLOB", TypeFamily.BINARY)
+
+    def __init__(self, sql_name: str, family: TypeFamily) -> None:
+        self.sql_name = sql_name
+        self.family = family
+
+
+# Aliases seen in real catalogs (SQLite, PostgreSQL, MySQL) mapped onto
+# the canonical SQL-92 names.
+_ALIASES = {
+    "INT": SqlType.INTEGER,
+    "INT2": SqlType.SMALLINT,
+    "INT4": SqlType.INTEGER,
+    "INT8": SqlType.BIGINT,
+    "TINYINT": SqlType.SMALLINT,
+    "MEDIUMINT": SqlType.INTEGER,
+    "SERIAL": SqlType.INTEGER,
+    "BIGSERIAL": SqlType.BIGINT,
+    "DOUBLE PRECISION": SqlType.DOUBLE,
+    "DOUBLE": SqlType.DOUBLE,
+    "FLOAT8": SqlType.DOUBLE,
+    "FLOAT4": SqlType.REAL,
+    "NUMBER": SqlType.NUMERIC,
+    "CHARACTER": SqlType.CHAR,
+    "CHARACTER VARYING": SqlType.VARCHAR,
+    "NVARCHAR": SqlType.VARCHAR,
+    "NCHAR": SqlType.CHAR,
+    "CLOB": SqlType.TEXT,
+    "STRING": SqlType.TEXT,
+    "DATETIME": SqlType.TIMESTAMP,
+    "TIMESTAMPTZ": SqlType.TIMESTAMP,
+    "BOOL": SqlType.BOOLEAN,
+    "BYTEA": SqlType.BLOB,
+    "VARBINARY": SqlType.BLOB,
+}
+
+_TYPE_RE = re.compile(
+    r"^\s*([A-Za-z][A-Za-z0-9 ]*?)\s*(?:\(\s*(\d+)\s*(?:,\s*(\d+)\s*)?\))?\s*$"
+)
+
+
+@dataclass(frozen=True)
+class DataType:
+    """A resolved column type: base type plus optional length/precision.
+
+    ``length`` is the character length for CHAR/VARCHAR and the precision
+    for DECIMAL/NUMERIC; ``scale`` is the decimal scale.
+    """
+
+    base: SqlType
+    length: int | None = None
+    scale: int | None = None
+
+    @property
+    def family(self) -> TypeFamily:
+        return self.base.family
+
+    def render(self) -> str:
+        """Render back to SQL, e.g. ``VARCHAR(44)`` or ``DECIMAL(15,2)``."""
+        name = self.base.sql_name
+        if self.length is None:
+            return name
+        if self.scale is None:
+            return f"{name}({self.length})"
+        return f"{name}({self.length},{self.scale})"
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.render()
+
+
+def parse_type(text: str) -> DataType:
+    """Parse a catalog type string such as ``varchar(44)`` into a DataType.
+
+    Raises :class:`ModelError` for unknown types — DBSynth treats an
+    unknown type as a modelling failure rather than guessing.
+    """
+    match = _TYPE_RE.match(text or "")
+    if not match:
+        raise ModelError(f"unparsable SQL type: {text!r}")
+    name = " ".join(match.group(1).upper().split())
+    length = int(match.group(2)) if match.group(2) else None
+    scale = int(match.group(3)) if match.group(3) else None
+    base = _ALIASES.get(name)
+    if base is None:
+        try:
+            base = SqlType[name.replace(" ", "_")]
+        except KeyError:
+            raise ModelError(f"unsupported SQL type: {text!r}") from None
+    return DataType(base, length, scale)
+
+
+def python_type_for(dtype: DataType) -> type:
+    """The Python type a generator for this column must produce."""
+    family = dtype.family
+    if family is TypeFamily.INTEGER:
+        return int
+    if family in (TypeFamily.FLOAT, TypeFamily.DECIMAL):
+        return float
+    if family is TypeFamily.BOOLEAN:
+        return bool
+    if family is TypeFamily.BINARY:
+        return bytes
+    return str

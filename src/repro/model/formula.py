@@ -1,0 +1,180 @@
+"""Safe arithmetic formula evaluation for model properties and sizes.
+
+PDGF schema files express sizes and bounds as formulas over properties,
+e.g. ``<size>6000000 * ${SF}</size>`` (paper Listing 1). This module
+evaluates such expressions without ``eval``: the expression is parsed
+with :mod:`ast` and only a whitelisted set of node types, operators, and
+functions is allowed.
+
+``${NAME}`` references are substituted *syntactically* into identifiers
+before parsing, so properties can reference other properties; cycle
+detection lives in :mod:`repro.model.properties`.
+"""
+
+from __future__ import annotations
+
+import ast
+import math
+import operator
+import re
+from typing import Callable, Mapping
+
+from repro.exceptions import FormulaError
+
+PROPERTY_REF_RE = re.compile(r"\$\{([A-Za-z_][A-Za-z0-9_.]*)\}")
+
+_BINOPS: dict[type, Callable] = {
+    ast.Add: operator.add,
+    ast.Sub: operator.sub,
+    ast.Mult: operator.mul,
+    ast.Div: operator.truediv,
+    ast.FloorDiv: operator.floordiv,
+    ast.Mod: operator.mod,
+    ast.Pow: operator.pow,
+}
+
+_UNARYOPS: dict[type, Callable] = {
+    ast.UAdd: operator.pos,
+    ast.USub: operator.neg,
+}
+
+_FUNCTIONS: dict[str, Callable] = {
+    "min": min,
+    "max": max,
+    "abs": abs,
+    "round": round,
+    "int": int,
+    "float": float,
+    "ceil": math.ceil,
+    "floor": math.floor,
+    "sqrt": math.sqrt,
+    "log": math.log,
+    "log2": math.log2,
+    "log10": math.log10,
+    "pow": math.pow,
+}
+
+
+def find_references(expression: str) -> list[str]:
+    """Return the property names referenced as ``${name}`` in order of
+    first appearance, without duplicates."""
+    seen: list[str] = []
+    for name in PROPERTY_REF_RE.findall(expression):
+        if name not in seen:
+            seen.append(name)
+    return seen
+
+
+class CompiledFormula:
+    """A validated, pre-compiled formula for hot generation loops.
+
+    The expression is parsed and whitelist-validated once; evaluation
+    reuses the compiled code object with an empty ``__builtins__`` and
+    only the whitelisted functions in scope. ``${name}`` references and
+    identifier-shaped environment keys are both supported.
+    """
+
+    __slots__ = ("expression", "references", "_code", "_ident_of")
+
+    def __init__(self, expression: str) -> None:
+        self.expression = expression
+        self.references = find_references(expression)
+        self._ident_of = {
+            name: "_ref_" + name.replace(".", "_dot_") for name in self.references
+        }
+        plain = PROPERTY_REF_RE.sub(
+            lambda m: self._ident_of[m.group(1)], expression
+        )
+        try:
+            tree = ast.parse(plain, mode="eval")
+        except SyntaxError as exc:
+            raise FormulaError(f"cannot parse formula {expression!r}: {exc}") from exc
+        _validate_node(tree)
+        self._code = compile(tree, "<formula>", "eval")
+
+    def __call__(self, properties: Mapping[str, float] | None = None) -> float:
+        properties = properties or {}
+        env: dict[str, object] = {}
+        for name, ident in self._ident_of.items():
+            if name not in properties:
+                raise FormulaError(
+                    f"undefined property ${{{name}}} in {self.expression!r}"
+                )
+            env[ident] = properties[name]
+        for key, value in properties.items():
+            if key not in self._ident_of:
+                env.setdefault(key, value)
+        try:
+            return eval(self._code, _EVAL_GLOBALS, env)  # noqa: S307 - validated AST
+        except NameError as exc:
+            raise FormulaError(f"unknown name in formula {self.expression!r}: {exc}") from exc
+        except (ZeroDivisionError, ValueError, TypeError, OverflowError) as exc:
+            raise FormulaError(f"error evaluating {self.expression!r}: {exc}") from exc
+
+
+_EVAL_GLOBALS = {"__builtins__": {}, **_FUNCTIONS}
+
+_ALLOWED_SIMPLE = (ast.Expression, ast.Constant, ast.Name, ast.Load)
+
+
+def _validate_node(node: ast.AST) -> None:
+    """Reject anything outside the arithmetic whitelist before compiling."""
+    for child in ast.walk(node):
+        if isinstance(child, ast.Constant):
+            if isinstance(child.value, bool) or not isinstance(
+                child.value, (int, float)
+            ):
+                raise FormulaError(f"non-numeric constant {child.value!r}")
+        elif isinstance(child, ast.BinOp):
+            if type(child.op) not in _BINOPS:
+                raise FormulaError(
+                    f"operator {type(child.op).__name__} not allowed"
+                )
+        elif isinstance(child, ast.UnaryOp):
+            if type(child.op) not in _UNARYOPS:
+                raise FormulaError(
+                    f"operator {type(child.op).__name__} not allowed"
+                )
+        elif isinstance(child, ast.Call):
+            if (
+                not isinstance(child.func, ast.Name)
+                or child.func.id not in _FUNCTIONS
+            ):
+                raise FormulaError("only whitelisted functions may be called")
+            if child.keywords:
+                raise FormulaError("keyword arguments are not allowed in formulas")
+        elif isinstance(child, (ast.operator, ast.unaryop)):
+            pass  # validated with their parent BinOp/UnaryOp above
+        elif not isinstance(child, _ALLOWED_SIMPLE):
+            raise FormulaError(
+                f"syntax element {type(child).__name__} not allowed"
+            )
+
+
+_COMPILE_CACHE: dict[str, CompiledFormula] = {}
+_COMPILE_CACHE_LIMIT = 4096
+
+
+def compile_formula(expression: str) -> CompiledFormula:
+    """Compile (with caching) a formula for repeated evaluation."""
+    cached = _COMPILE_CACHE.get(expression)
+    if cached is None:
+        cached = CompiledFormula(expression)
+        if len(_COMPILE_CACHE) < _COMPILE_CACHE_LIMIT:
+            _COMPILE_CACHE[expression] = cached
+    return cached
+
+
+def evaluate(expression: str, properties: Mapping[str, float] | None = None) -> float:
+    """Evaluate a formula string, resolving ``${name}`` against *properties*.
+
+    Returns a float or int (whatever the arithmetic yields). Raises
+    :class:`FormulaError` on any parse error, unknown reference, or
+    disallowed construct.
+    """
+    return compile_formula(expression)(properties)
+
+
+def evaluate_int(expression: str, properties: Mapping[str, float] | None = None) -> int:
+    """Evaluate a formula and round the result to an int (table sizes)."""
+    return int(round(evaluate(expression, properties)))

@@ -1,0 +1,149 @@
+"""Model property system.
+
+A PDGF model carries named properties — the scale factor ``SF``, per-table
+size properties such as ``lineitem_size = 6000000 * ${SF}``, numeric
+bounds, date boundaries — that can be overridden from the command line
+without editing the model (paper §2/§3). Properties may reference each
+other; resolution is lazy with cycle detection, so overriding ``SF``
+transparently re-scales everything derived from it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.exceptions import FormulaError, PropertyError
+from repro.model import formula as _formula
+
+
+@dataclass
+class PropertyDef:
+    """A single property: an expression plus a declared type.
+
+    ``ptype`` is ``"double"``, ``"int"``, or ``"string"`` (matching the
+    ``type=`` attribute in the XML). String properties are opaque — no
+    formula evaluation is applied to them.
+    """
+
+    name: str
+    expression: str
+    ptype: str = "double"
+
+
+@dataclass
+class PropertySet:
+    """An ordered set of property definitions with lazy evaluation.
+
+    Overrides (from the CLI or the API) shadow definitions without
+    destroying them, so a model can be re-serialized with its original
+    expressions intact.
+    """
+
+    _defs: dict[str, PropertyDef] = field(default_factory=dict)
+    _overrides: dict[str, object] = field(default_factory=dict)
+
+    def define(self, name: str, expression: str, ptype: str = "double") -> None:
+        """Add or replace a property definition."""
+        if not name:
+            raise PropertyError("property name must be non-empty")
+        self._defs[name] = PropertyDef(name, str(expression), ptype)
+
+    def override(self, name: str, value: object) -> None:
+        """Set a runtime override (e.g. ``-p SF=10`` on the CLI).
+
+        The property does not need a definition: ad-hoc overrides let a
+        formatter or generator read tuning knobs that have defaults in
+        code.
+        """
+        self._overrides[name] = value
+
+    def names(self) -> list[str]:
+        ordered = list(self._defs)
+        for name in self._overrides:
+            if name not in self._defs:
+                ordered.append(name)
+        return ordered
+
+    def definitions(self) -> list[PropertyDef]:
+        return list(self._defs.values())
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._overrides or name in self._defs
+
+    def get(self, name: str, default: object | None = None) -> object:
+        """Resolve a property to its final value.
+
+        Numeric properties are evaluated as formulas (which may reference
+        other properties); string properties are returned verbatim.
+        """
+        try:
+            return self._resolve(name, frozenset())
+        except PropertyError:
+            if default is not None:
+                return default
+            raise
+
+    def get_float(self, name: str, default: float | None = None) -> float:
+        value = self.get(name, default)
+        try:
+            return float(value)  # type: ignore[arg-type]
+        except (TypeError, ValueError):
+            raise PropertyError(f"property {name!r} is not numeric: {value!r}") from None
+
+    def get_int(self, name: str, default: int | None = None) -> int:
+        return int(round(self.get_float(name, default)))
+
+    def get_str(self, name: str, default: str | None = None) -> str:
+        return str(self.get(name, default))
+
+    def _resolve(self, name: str, visiting: frozenset[str]) -> object:
+        if name in self._overrides:
+            value = self._overrides[name]
+            if isinstance(value, str):
+                pdef = self._defs.get(name)
+                if pdef is None or pdef.ptype != "string":
+                    return self._evaluate_if_numeric(name, value, visiting)
+            return value
+        pdef = self._defs.get(name)
+        if pdef is None:
+            raise PropertyError(f"undefined property {name!r}")
+        if pdef.ptype == "string":
+            return pdef.expression
+        return self._evaluate_if_numeric(name, pdef.expression, visiting)
+
+    def _evaluate_if_numeric(
+        self, name: str, expression: str, visiting: frozenset[str]
+    ) -> object:
+        if name in visiting:
+            chain = " -> ".join([*sorted(visiting), name])
+            raise PropertyError(f"cyclic property reference: {chain}")
+        refs = _formula.find_references(expression)
+        env: dict[str, float] = {}
+        for ref in refs:
+            value = self._resolve(ref, visiting | {name})
+            try:
+                env[ref] = float(value)  # type: ignore[arg-type]
+            except (TypeError, ValueError):
+                raise PropertyError(
+                    f"property {ref!r} referenced from {name!r} is not numeric"
+                ) from None
+        try:
+            return _formula.evaluate(expression, env)
+        except FormulaError as exc:
+            raise PropertyError(f"property {name!r}: {exc}") from exc
+
+    def evaluate_expression(self, expression: str) -> float:
+        """Evaluate a free-standing formula (e.g. a table size) against
+        this property set."""
+        refs = _formula.find_references(expression)
+        env = {ref: self.get_float(ref) for ref in refs}
+        return _formula.evaluate(expression, env)
+
+    def evaluate_expression_int(self, expression: str) -> int:
+        return int(round(self.evaluate_expression(expression)))
+
+    def copy(self) -> "PropertySet":
+        clone = PropertySet()
+        clone._defs = dict(self._defs)
+        clone._overrides = dict(self._overrides)
+        return clone

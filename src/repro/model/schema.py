@@ -1,0 +1,143 @@
+"""The PDGF data model: schema, tables, fields, generator specs.
+
+This is the in-memory form of the XML schema configuration shown in the
+paper's Listing 1. A :class:`GeneratorSpec` is a declarative tree (meta
+generators such as the NULL wrapper nest their sub-generator as a child);
+it is instantiated into runnable generator objects by
+:mod:`repro.generators.registry`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field as dc_field
+
+from repro.exceptions import ModelError
+from repro.model.datatypes import DataType, parse_type
+from repro.model.properties import PropertySet
+
+
+@dataclass
+class GeneratorSpec:
+    """Declarative description of one field value generator.
+
+    ``name`` is the registry key (``IdGenerator``, ``NullGenerator``,
+    ``MarkovChainGenerator``, ...), ``params`` the element's attributes
+    and simple child elements, and ``children`` the nested generator
+    specs for meta generators.
+    """
+
+    name: str
+    params: dict[str, object] = dc_field(default_factory=dict)
+    children: list["GeneratorSpec"] = dc_field(default_factory=list)
+
+    def child(self) -> "GeneratorSpec":
+        """The single sub-generator of a wrapping meta generator."""
+        if len(self.children) != 1:
+            raise ModelError(
+                f"{self.name} expects exactly one sub-generator, "
+                f"found {len(self.children)}"
+            )
+        return self.children[0]
+
+
+@dataclass
+class Field:
+    """One column of a table.
+
+    ``size`` mirrors the XML ``size=`` attribute (display width /
+    character length); ``primary`` marks primary-key membership, which
+    the rule engine and the DDL translator both use.
+    """
+
+    name: str
+    dtype: DataType
+    generator: GeneratorSpec
+    primary: bool = False
+    nullable: bool = True
+    size: int | None = None
+
+    @classmethod
+    def of(
+        cls,
+        name: str,
+        type_text: str,
+        generator: GeneratorSpec,
+        primary: bool = False,
+        nullable: bool = True,
+        size: int | None = None,
+    ) -> "Field":
+        """Convenience constructor taking the SQL type as text."""
+        return cls(name, parse_type(type_text), generator, primary, nullable, size)
+
+
+@dataclass
+class Table:
+    """One table: a size expression plus an ordered field list.
+
+    The size is an expression over model properties (typically
+    ``${<table>_size}``, itself ``<base rows> * ${SF}``), evaluated lazily
+    so that property overrides re-scale the model.
+    """
+
+    name: str
+    size_expression: str
+    fields: list[Field] = dc_field(default_factory=list)
+
+    def field_index(self, name: str) -> int:
+        for index, f in enumerate(self.fields):
+            if f.name == name:
+                return index
+        raise ModelError(f"table {self.name!r} has no field {name!r}")
+
+    def field_by_name(self, name: str) -> Field:
+        return self.fields[self.field_index(name)]
+
+    def primary_key(self) -> list[Field]:
+        return [f for f in self.fields if f.primary]
+
+
+@dataclass
+class Schema:
+    """A complete generation model.
+
+    ``seed`` is the project seed (changing it changes every generated
+    value, paper §3); ``rng`` names the PRNG class; ``properties`` holds
+    the scale factor and all derived knobs.
+    """
+
+    name: str
+    seed: int = 123456789
+    rng: str = "PdgfDefaultRandom"
+    properties: PropertySet = dc_field(default_factory=PropertySet)
+    tables: list[Table] = dc_field(default_factory=list)
+
+    def add_table(self, table: Table) -> Table:
+        if any(t.name == table.name for t in self.tables):
+            raise ModelError(f"duplicate table {table.name!r}")
+        self.tables.append(table)
+        return table
+
+    def table_index(self, name: str) -> int:
+        for index, table in enumerate(self.tables):
+            if table.name == name:
+                return index
+        raise ModelError(f"schema {self.name!r} has no table {name!r}")
+
+    def table_by_name(self, name: str) -> Table:
+        return self.tables[self.table_index(name)]
+
+    def table_size(self, name: str) -> int:
+        """The resolved row count of a table under current properties."""
+        table = self.table_by_name(name)
+        size = self.properties.evaluate_expression_int(table.size_expression)
+        if size < 0:
+            raise ModelError(
+                f"table {name!r} size evaluated to {size}; sizes must be >= 0"
+            )
+        return size
+
+    def sizes(self) -> dict[str, int]:
+        return {table.name: self.table_size(table.name) for table in self.tables}
+
+    def total_rows(self) -> int:
+        return sum(self.sizes().values())

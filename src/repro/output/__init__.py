@@ -1,0 +1,40 @@
+"""Output system: value formatting, row writers, and sinks."""
+
+from repro.output.rows import ValueFormatter, format_row
+from repro.output.sinks import (
+    CallbackSink,
+    FileSink,
+    GzipFileSink,
+    MemorySink,
+    NullSink,
+    OrderedSinkMux,
+    Sink,
+    SQLiteSink,
+)
+from repro.output.writers import (
+    CsvWriter,
+    JsonWriter,
+    RowWriter,
+    SqlWriter,
+    XmlWriter,
+    writer_for,
+)
+
+__all__ = [
+    "ValueFormatter",
+    "format_row",
+    "CallbackSink",
+    "FileSink",
+    "GzipFileSink",
+    "MemorySink",
+    "NullSink",
+    "OrderedSinkMux",
+    "Sink",
+    "SQLiteSink",
+    "CsvWriter",
+    "JsonWriter",
+    "RowWriter",
+    "SqlWriter",
+    "XmlWriter",
+    "writer_for",
+]

@@ -1,0 +1,102 @@
+"""Run-time output configuration.
+
+The second of PDGF's two XML files configures formatting and routing
+(paper §2). This is its in-memory form: which writer, writer options,
+and where each table's output goes. ``kind`` selects the sink family;
+``directory`` is used by file output, ``database`` by SQL loading.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+from repro.exceptions import OutputError
+from repro.output.rows import ValueFormatter
+from repro.output.sinks import (
+    FileSink,
+    GzipFileSink,
+    MemorySink,
+    NullSink,
+    Sink,
+    SQLiteSink,
+)
+from repro.output.writers import RowWriter, writer_for
+
+
+@dataclass
+class OutputConfig:
+    """Describes how generated rows are formatted and where they go.
+
+    ``kind``: ``"file"``, ``"gzip"``, ``"null"``, ``"memory"``, or ``"sqlite"``.
+    ``format``: ``"csv"``, ``"json"``, ``"xml"``, or ``"sql"``.
+    """
+
+    kind: str = "null"
+    format: str = "csv"
+    directory: str = "."
+    database: str = ""
+    delimiter: str = "|"
+    include_header: bool = False
+    null_token: str = ""
+    date_format: str = "%Y-%m-%d"
+    timestamp_format: str = "%Y-%m-%d %H:%M:%S"
+    float_places: int | None = None
+    extension: str = ""
+    _memory_sinks: dict[str, MemorySink] = field(default_factory=dict, repr=False)
+
+    _EXTENSIONS = {"csv": ".tbl", "json": ".json", "xml": ".xml", "sql": ".sql"}
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("file", "gzip", "null", "memory", "sqlite"):
+            raise OutputError(f"unknown sink kind {self.kind!r}")
+        if self.kind == "sqlite" and self.format != "sql":
+            raise OutputError("sqlite sinks require format='sql'")
+        writer_for(self.format)  # validates the format name early
+
+    def new_formatter(self) -> ValueFormatter:
+        """A fresh formatter (each worker owns one; caches are not shared)."""
+        return ValueFormatter(
+            null_token=self.null_token,
+            date_format=self.date_format,
+            timestamp_format=self.timestamp_format,
+            float_places=self.float_places,
+        )
+
+    def new_writer(self, table: str, columns: list[str]) -> RowWriter:
+        cls = writer_for(self.format)
+        if self.format == "csv":
+            return cls(
+                table,
+                columns,
+                self.new_formatter(),
+                delimiter=self.delimiter,
+                include_header=self.include_header,
+            )  # type: ignore[call-arg]
+        return cls(table, columns, self.new_formatter())
+
+    def table_path(self, table: str) -> str:
+        extension = self.extension or self._EXTENSIONS.get(self.format, ".out")
+        return os.path.join(self.directory, table + extension)
+
+    def new_sink(self, table: str) -> Sink:
+        if self.kind == "null":
+            return NullSink()
+        if self.kind == "memory":
+            sink = MemorySink()
+            self._memory_sinks[table] = sink
+            return sink
+        if self.kind == "sqlite":
+            if not self.database:
+                raise OutputError("sqlite output needs a database path")
+            return SQLiteSink(self.database)
+        if self.kind == "gzip":
+            return GzipFileSink(self.table_path(table) + ".gz")
+        return FileSink(self.table_path(table))
+
+    def memory_output(self, table: str) -> str:
+        """The collected output of a memory run (tests, previews)."""
+        sink = self._memory_sinks.get(table)
+        if sink is None:
+            raise OutputError(f"no memory output captured for table {table!r}")
+        return sink.getvalue()

@@ -1,0 +1,171 @@
+"""Row writers: CSV, JSON, XML, and SQL output formats.
+
+PDGF "can write data in various formats (e.g., CSV, JSON, XML, and SQL)"
+(paper §1). A writer turns one row (a list of Python values) into output
+text; sinks decide where the text goes. Writers are stateless apart from
+their :class:`~repro.output.rows.ValueFormatter`, so each worker thread
+owns a private writer instance.
+"""
+
+from __future__ import annotations
+
+import abc
+import json
+
+from repro.exceptions import OutputError
+from repro.output.rows import ValueFormatter
+
+
+class RowWriter(abc.ABC):
+    """Formats rows of one table into text chunks."""
+
+    #: registry name used by output configuration files
+    format_name: str = ""
+
+    def __init__(
+        self,
+        table: str,
+        columns: list[str],
+        formatter: ValueFormatter | None = None,
+    ) -> None:
+        self.table = table
+        self.columns = list(columns)
+        self.formatter = formatter or ValueFormatter()
+
+    def header(self) -> str:
+        """Text emitted once before the first row (may be empty)."""
+        return ""
+
+    @abc.abstractmethod
+    def write_row(self, values: list[object]) -> str:
+        """Text for a single row, including the row terminator."""
+
+    def footer(self) -> str:
+        """Text emitted once after the last row (may be empty)."""
+        return ""
+
+
+class CsvWriter(RowWriter):
+    """Delimiter-separated values; the PDGF/dbgen default is ``|``."""
+
+    format_name = "csv"
+
+    def __init__(
+        self,
+        table: str,
+        columns: list[str],
+        formatter: ValueFormatter | None = None,
+        delimiter: str = "|",
+        include_header: bool = False,
+        terminator: str = "\n",
+    ) -> None:
+        super().__init__(table, columns, formatter)
+        if len(delimiter) != 1:
+            raise OutputError(f"delimiter must be one character, got {delimiter!r}")
+        self.delimiter = delimiter
+        self.include_header = include_header
+        self.terminator = terminator
+
+    def header(self) -> str:
+        if not self.include_header:
+            return ""
+        return self.delimiter.join(self.columns) + self.terminator
+
+    def write_row(self, values: list[object]) -> str:
+        fmt = self.formatter.format
+        delimiter = self.delimiter
+        parts = []
+        for value in values:
+            text = fmt(value)
+            if delimiter in text:
+                text = '"' + text.replace('"', '""') + '"'
+            parts.append(text)
+        return delimiter.join(parts) + self.terminator
+
+
+class JsonWriter(RowWriter):
+    """One JSON object per line (JSON-lines), NULLs as ``null``."""
+
+    format_name = "json"
+
+    def write_row(self, values: list[object]) -> str:
+        obj: dict[str, object] = {}
+        for name, value in zip(self.columns, values):
+            if value is None or isinstance(value, (bool, int, float, str)):
+                obj[name] = value
+            else:
+                obj[name] = self.formatter.format(value)
+        # Sinks are UTF-8; keep non-ASCII text readable instead of \u-escaped.
+        return json.dumps(obj, separators=(",", ":"), ensure_ascii=False) + "\n"
+
+
+class XmlWriter(RowWriter):
+    """``<row>`` elements wrapped in a ``<table name=...>`` document."""
+
+    format_name = "xml"
+
+    def header(self) -> str:
+        return f'<?xml version="1.0" encoding="UTF-8"?>\n<table name="{self.table}">\n'
+
+    @staticmethod
+    def _escape(text: str) -> str:
+        return (
+            text.replace("&", "&amp;")
+            .replace("<", "&lt;")
+            .replace(">", "&gt;")
+        )
+
+    def write_row(self, values: list[object]) -> str:
+        parts = ["  <row>"]
+        for name, value in zip(self.columns, values):
+            if value is None:
+                parts.append(f"<{name}/>")
+            else:
+                parts.append(f"<{name}>{self._escape(self.formatter.format(value))}</{name}>")
+        parts.append("</row>\n")
+        return "".join(parts)
+
+    def footer(self) -> str:
+        return "</table>\n"
+
+
+class SqlWriter(RowWriter):
+    """``INSERT INTO`` statements, batched ``rows_per_statement`` at a time
+    by the caller (one row per statement here keeps writers stateless)."""
+
+    format_name = "sql"
+
+    def write_row(self, values: list[object]) -> str:
+        rendered = []
+        for value in values:
+            if value is None:
+                rendered.append("NULL")
+            elif isinstance(value, bool):
+                rendered.append("TRUE" if value else "FALSE")
+            elif isinstance(value, (int, float)):
+                rendered.append(self.formatter.format(value))
+            else:
+                text = self.formatter.format(value).replace("'", "''")
+                rendered.append(f"'{text}'")
+        columns = ", ".join(self.columns)
+        return (
+            f"INSERT INTO {self.table} ({columns}) VALUES ({', '.join(rendered)});\n"
+        )
+
+
+_WRITERS: dict[str, type[RowWriter]] = {
+    "csv": CsvWriter,
+    "json": JsonWriter,
+    "xml": XmlWriter,
+    "sql": SqlWriter,
+}
+
+
+def writer_for(format_name: str) -> type[RowWriter]:
+    """Look up a writer class by its format name."""
+    try:
+        return _WRITERS[format_name.lower()]
+    except KeyError:
+        raise OutputError(
+            f"unknown output format {format_name!r}; known: {', '.join(sorted(_WRITERS))}"
+        ) from None

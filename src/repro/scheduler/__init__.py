@@ -1,0 +1,29 @@
+"""Scheduling: work packages, thread scheduler, multi-node meta scheduler."""
+
+from repro.scheduler.meta import ClusterReport, MetaScheduler, NodeReport, run_node
+from repro.scheduler.progress import ProgressMonitor, ProgressSnapshot
+from repro.scheduler.scheduler import RunReport, Scheduler, generate
+from repro.scheduler.work import (
+    DEFAULT_PACKAGE_SIZE,
+    WorkPackage,
+    node_share,
+    partition_rows,
+    plan_node,
+)
+
+__all__ = [
+    "ClusterReport",
+    "MetaScheduler",
+    "NodeReport",
+    "run_node",
+    "ProgressMonitor",
+    "ProgressSnapshot",
+    "RunReport",
+    "Scheduler",
+    "generate",
+    "DEFAULT_PACKAGE_SIZE",
+    "WorkPackage",
+    "node_share",
+    "partition_rows",
+    "plan_node",
+]

@@ -1,0 +1,106 @@
+"""Progress and throughput monitoring.
+
+PDGF exposes per-table and total progress over JMX for Java Mission
+Control (paper §5). This module is the library-level substitute: atomic
+row/byte counters per table, periodic snapshots, and an optional
+callback for interactive front-ends (the CLI uses it for its progress
+line).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+
+@dataclass(frozen=True)
+class ProgressSnapshot:
+    """One observation of a run's progress."""
+
+    elapsed_seconds: float
+    rows_done: int
+    rows_total: int
+    bytes_written: int
+
+    @property
+    def fraction(self) -> float:
+        if self.rows_total <= 0:
+            return 1.0
+        return min(self.rows_done / self.rows_total, 1.0)
+
+    @property
+    def rows_per_second(self) -> float:
+        if self.elapsed_seconds <= 0:
+            return 0.0
+        return self.rows_done / self.elapsed_seconds
+
+    @property
+    def mb_per_second(self) -> float:
+        if self.elapsed_seconds <= 0:
+            return 0.0
+        return self.bytes_written / (1024 * 1024) / self.elapsed_seconds
+
+
+class ProgressMonitor:
+    """Thread-safe counters with per-table breakdown.
+
+    Workers call :meth:`add` after each package; an observer may poll
+    :meth:`snapshot` / :meth:`table_progress` or register a callback that
+    fires at most every ``min_interval`` seconds.
+    """
+
+    def __init__(
+        self,
+        rows_total: int,
+        table_totals: dict[str, int] | None = None,
+        callback: Callable[[ProgressSnapshot], None] | None = None,
+        min_interval: float = 0.5,
+    ) -> None:
+        self.rows_total = rows_total
+        self._table_totals = dict(table_totals or {})
+        self._table_done: dict[str, int] = {name: 0 for name in self._table_totals}
+        self._rows_done = 0
+        self._bytes = 0
+        self._lock = threading.Lock()
+        self._started = time.perf_counter()
+        self._callback = callback
+        self._min_interval = min_interval
+        self._last_callback = 0.0
+
+    def add(self, table: str, rows: int, bytes_written: int) -> None:
+        fire: ProgressSnapshot | None = None
+        with self._lock:
+            self._rows_done += rows
+            self._bytes += bytes_written
+            if table in self._table_done:
+                self._table_done[table] += rows
+            elif self._table_totals:
+                self._table_done[table] = rows
+            now = time.perf_counter()
+            if self._callback and now - self._last_callback >= self._min_interval:
+                self._last_callback = now
+                fire = self._snapshot_locked(now)
+        if fire is not None and self._callback is not None:
+            self._callback(fire)
+
+    def _snapshot_locked(self, now: float) -> ProgressSnapshot:
+        return ProgressSnapshot(
+            elapsed_seconds=now - self._started,
+            rows_done=self._rows_done,
+            rows_total=self.rows_total,
+            bytes_written=self._bytes,
+        )
+
+    def snapshot(self) -> ProgressSnapshot:
+        with self._lock:
+            return self._snapshot_locked(time.perf_counter())
+
+    def table_progress(self) -> dict[str, tuple[int, int]]:
+        """Per-table ``(done, total)`` pairs."""
+        with self._lock:
+            return {
+                name: (self._table_done.get(name, 0), total)
+                for name, total in self._table_totals.items()
+            }

@@ -1,0 +1,163 @@
+"""Single-node scheduler: work packages over a thread pool.
+
+"The scheduler assigns work packages to the workers. ... Whenever a work
+package is generated, it is sent to the output system, where it can be
+formatted and sorted" (paper §2). Workers format their package into a
+private buffer (own writer, own formatter cache) and hand the finished
+chunk to the ordered mux, which restores row order per table.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+
+from repro.engine import GenerationEngine
+from repro.output.config import OutputConfig
+from repro.output.sinks import OrderedSinkMux, Sink
+from repro.scheduler.progress import ProgressMonitor
+from repro.scheduler.work import DEFAULT_PACKAGE_SIZE, WorkPackage, partition_rows
+
+
+@dataclass(frozen=True)
+class RunReport:
+    """Outcome of a generation run."""
+
+    rows: int
+    bytes_written: int
+    seconds: float
+    workers: int
+
+    @property
+    def rows_per_second(self) -> float:
+        return self.rows / self.seconds if self.seconds > 0 else 0.0
+
+    @property
+    def mb_per_second(self) -> float:
+        if self.seconds <= 0:
+            return 0.0
+        return self.bytes_written / (1024 * 1024) / self.seconds
+
+
+class Scheduler:
+    """Generates every table of an engine's model onto sinks.
+
+    ``workers`` is the thread count; the paper's Figure 5 sweeps it. One
+    sink (and one mux) exists per table; header/footer are written
+    outside the package stream so parallel workers never touch them.
+    """
+
+    def __init__(
+        self,
+        engine: GenerationEngine,
+        output: OutputConfig,
+        workers: int = 1,
+        package_size: int = DEFAULT_PACKAGE_SIZE,
+        progress: ProgressMonitor | None = None,
+    ) -> None:
+        if workers < 1:
+            from repro.exceptions import SchedulingError
+
+            raise SchedulingError(f"workers must be >= 1, got {workers}")
+        self.engine = engine
+        self.output = output
+        self.workers = workers
+        self.package_size = package_size
+        self.progress = progress
+
+    def run(
+        self,
+        tables: list[str] | None = None,
+        row_ranges: dict[str, tuple[int, int]] | None = None,
+    ) -> RunReport:
+        """Generate *tables* (default: all), optionally restricted to
+        per-table ``[start, stop)`` ranges (the meta scheduler's node
+        shares)."""
+        engine = self.engine
+        names = tables if tables is not None else [t.name for t in engine.schema.tables]
+
+        packages: list[tuple[WorkPackage, OrderedSinkMux]] = []
+        sinks: list[Sink] = []
+        muxes: dict[str, OrderedSinkMux] = {}
+        footers: list[tuple[Sink, str]] = []
+
+        total_rows = 0
+        for name in names:
+            size = engine.sizes[name]
+            start, stop = 0, size
+            if row_ranges and name in row_ranges:
+                start, stop = row_ranges[name]
+                stop = min(stop, size)
+            share = max(stop - start, 0)
+            total_rows += share
+
+            sink = self.output.new_sink(name)
+            sinks.append(sink)
+            mux = OrderedSinkMux(sink)
+            muxes[name] = mux
+
+            columns = engine.bound_table(name).column_names
+            probe_writer = self.output.new_writer(name, columns)
+            header = probe_writer.header()
+            if header:
+                sink.write(header)
+            footer = probe_writer.footer()
+            if footer:
+                footers.append((sink, footer))
+
+            for package in partition_rows(name, share, self.package_size, offset=start):
+                packages.append((package, mux))
+
+        started = time.perf_counter()
+        if self.workers == 1:
+            for package, mux in packages:
+                self._generate_package(package, mux)
+        else:
+            with ThreadPoolExecutor(max_workers=self.workers) as pool:
+                futures = [
+                    pool.submit(self._generate_package, package, mux)
+                    for package, mux in packages
+                ]
+                for future in futures:
+                    future.result()  # re-raise worker exceptions
+        for name in names:
+            muxes[name].finish()
+        for sink, footer in footers:
+            sink.write(footer)
+        elapsed = time.perf_counter() - started
+
+        bytes_written = sum(sink.bytes_written for sink in sinks)
+        for sink in sinks:
+            sink.close()
+        return RunReport(total_rows, bytes_written, elapsed, self.workers)
+
+    def _generate_package(self, package: WorkPackage, mux: OrderedSinkMux) -> None:
+        """Worker body: generate, format, submit in row order."""
+        engine = self.engine
+        bound = engine.bound_table(package.table)
+        writer = self.output.new_writer(package.table, bound.column_names)
+        ctx = engine.new_context(package.table)
+        parts: list[str] = []
+        generate_row = bound.generate_row
+        write_row = writer.write_row
+        for row in range(package.start, package.stop):
+            parts.append(write_row(generate_row(row, ctx)))
+        chunk = "".join(parts)
+        mux.submit(package.sequence, chunk)
+        if self.progress is not None:
+            self.progress.add(package.table, package.rows, len(chunk))
+
+
+def generate(
+    engine: GenerationEngine,
+    output: OutputConfig | None = None,
+    workers: int = 1,
+    package_size: int = DEFAULT_PACKAGE_SIZE,
+    tables: list[str] | None = None,
+    progress: ProgressMonitor | None = None,
+) -> RunReport:
+    """One-call generation entry point (the public API convenience)."""
+    return Scheduler(
+        engine, output or OutputConfig(), workers, package_size, progress
+    ).run(tables)

@@ -1,0 +1,1 @@
+"""Benchmark suites: TPC-H, SSB, BigBench-like, and the IMDb-like demo DB."""

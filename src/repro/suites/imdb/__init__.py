@@ -1,0 +1,5 @@
+"""IMDb-like sample source database (demo workflow substrate)."""
+
+from repro.suites.imdb.builder import GENRES, ROLES, build_imdb_database
+
+__all__ = ["GENRES", "ROLES", "build_imdb_database"]

@@ -1,0 +1,98 @@
+"""TPC-H constants: cardinalities, enumerations, and word lists.
+
+Values follow the TPC-H specification (revision 2.x): base table
+cardinalities at scale factor 1, the fixed region/nation enumeration,
+and the categorical domains used by the column generators.
+"""
+
+from __future__ import annotations
+
+# Rows at scale factor 1. region and nation are fixed-size tables.
+BASE_CARDINALITIES = {
+    "region": 5,
+    "nation": 25,
+    "supplier": 10_000,
+    "customer": 150_000,
+    "part": 200_000,
+    "partsupp": 800_000,
+    "orders": 1_500_000,
+    "lineitem": 6_000_000,
+}
+
+# Tables whose size does not scale with SF.
+FIXED_TABLES = ("region", "nation")
+
+REGIONS = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"]
+
+# (name, region index) in nationkey order, per the TPC-H spec.
+NATIONS = [
+    ("ALGERIA", 0), ("ARGENTINA", 1), ("BRAZIL", 1), ("CANADA", 1),
+    ("EGYPT", 4), ("ETHIOPIA", 0), ("FRANCE", 3), ("GERMANY", 3),
+    ("INDIA", 2), ("INDONESIA", 2), ("IRAN", 4), ("IRAQ", 4),
+    ("JAPAN", 2), ("JORDAN", 4), ("KENYA", 0), ("MOROCCO", 0),
+    ("MOZAMBIQUE", 0), ("PERU", 1), ("CHINA", 2), ("ROMANIA", 3),
+    ("SAUDI ARABIA", 4), ("VIETNAM", 2), ("RUSSIA", 3),
+    ("UNITED KINGDOM", 3), ("UNITED STATES", 1),
+]
+
+MARKET_SEGMENTS = ["AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD", "MACHINERY"]
+
+ORDER_PRIORITIES = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"]
+
+ORDER_STATUS = ["F", "O", "P"]
+ORDER_STATUS_WEIGHTS = [0.486, 0.486, 0.028]
+
+SHIP_INSTRUCTIONS = ["DELIVER IN PERSON", "COLLECT COD", "NONE", "TAKE BACK RETURN"]
+
+SHIP_MODES = ["REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"]
+
+RETURN_FLAGS = ["R", "A", "N"]
+RETURN_FLAG_WEIGHTS = [0.25, 0.25, 0.5]
+
+LINE_STATUS = ["O", "F"]
+
+# P_NAME is composed of part-colour words (spec: 5 of 92 words).
+PART_NAME_WORDS = [
+    "almond", "antique", "aquamarine", "azure", "beige", "bisque", "black",
+    "blanched", "blue", "blush", "brown", "burlywood", "burnished",
+    "chartreuse", "chiffon", "chocolate", "coral", "cornflower", "cornsilk",
+    "cream", "cyan", "dark", "deep", "dim", "dodger", "drab", "firebrick",
+    "floral", "forest", "frosted", "gainsboro", "ghost", "goldenrod", "green",
+    "grey", "honeydew", "hot", "hotpink", "indian", "ivory", "khaki",
+    "lace", "lavender", "lawn", "lemon", "light", "lime", "linen", "magenta",
+    "maroon", "medium", "metallic", "midnight", "mint", "misty", "moccasin",
+    "navajo", "navy", "olive", "orange", "orchid", "pale", "papaya", "peach",
+    "peru", "pink", "plum", "powder", "puff", "purple", "red", "rose",
+    "rosy", "royal", "saddle", "salmon", "sandy", "seashell", "sienna",
+    "sky", "slate", "smoke", "snow", "spring", "steel", "tan", "thistle",
+    "tomato", "turquoise", "violet", "wheat", "white", "yellow",
+]
+
+# P_TYPE = syllable1 + syllable2 + syllable3 (6 x 5 x 5 = 150 types).
+TYPE_SYLLABLE_1 = ["STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO"]
+TYPE_SYLLABLE_2 = ["ANODIZED", "BURNISHED", "PLATED", "POLISHED", "BRUSHED"]
+TYPE_SYLLABLE_3 = ["TIN", "NICKEL", "BRASS", "STEEL", "COPPER"]
+
+# P_CONTAINER = container1 + container2 (5 x 8 = 40 containers).
+CONTAINER_SYLLABLE_1 = ["SM", "LG", "MED", "JUMBO", "WRAP"]
+CONTAINER_SYLLABLE_2 = ["CASE", "BOX", "BAG", "JAR", "PKG", "PACK", "CAN", "DRUM"]
+
+# Date windows (spec section 4.2.3).
+START_DATE = "1992-01-01"
+END_DATE = "1998-12-31"
+ORDER_END_DATE = "1998-08-02"  # END_DATE - 151 days
+
+# Supplier/customer account balance bounds.
+ACCTBAL_MIN = -999.99
+ACCTBAL_MAX = 9999.99
+
+SUPPLIERS_PER_PART = 4
+LINES_PER_ORDER_AVG = 4
+
+
+def scaled_size(table: str, scale_factor: float) -> int:
+    """Row count of a table at a scale factor (fixed tables don't scale)."""
+    base = BASE_CARDINALITIES[table]
+    if table in FIXED_TABLES:
+        return base
+    return max(int(base * scale_factor), 1)

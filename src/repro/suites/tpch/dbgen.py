@@ -1,0 +1,216 @@
+"""A DBGen-style baseline generator.
+
+The paper's Figure 6 compares PDGF against the TPC's classic ``dbgen``
+tool. This module re-creates dbgen's *architecture* in Python so the
+comparison is between generation strategies, not languages:
+
+* **sequential and stateful** — one shared PRNG stream per table feeds
+  every column in row order, so no row can be produced without producing
+  its predecessors (contrast PDGF's seed-per-cell recomputation);
+* **non-transparent parallelism** — like dbgen's ``-C/-S`` flags,
+  parallel runs start independent instances that each write *their own
+  chunk*, by splitting the row space up front (``chunk``/``chunks``);
+* **direct string output** — values are formatted eagerly into ``|``
+  delimited ``.tbl`` lines.
+
+The emitted schema matches :mod:`repro.suites.tpch.schema` column for
+column, so both generators do equivalent per-row work.
+"""
+
+from __future__ import annotations
+
+import datetime
+
+from repro.exceptions import GenerationError
+from repro.output.sinks import Sink
+from repro.prng.xorshift import XorShift128Plus, combine64
+from repro.suites.tpch import data as D
+from repro.text import corpus
+
+_EPOCH_START = datetime.date.fromisoformat(D.START_DATE).toordinal()
+_EPOCH_ORDER_END = datetime.date.fromisoformat(D.ORDER_END_DATE).toordinal()
+_EPOCH_END = datetime.date.fromisoformat(D.END_DATE).toordinal()
+
+
+class DbgenBaseline:
+    """Sequential TPC-H generator with dbgen's execution model."""
+
+    TABLES = tuple(D.BASE_CARDINALITIES)
+
+    def __init__(self, scale_factor: float = 1.0, seed: int = 19940501) -> None:
+        self.scale_factor = scale_factor
+        self.seed = seed
+
+    # -- public API -----------------------------------------------------------
+
+    def table_size(self, table: str) -> int:
+        return D.scaled_size(table, self.scale_factor)
+
+    def generate_table(
+        self, table: str, sink: Sink, chunk: int = 0, chunks: int = 1
+    ) -> int:
+        """Generate one table (or one parallel chunk of it) into a sink.
+
+        Returns the number of rows written. ``chunks > 1`` reproduces
+        dbgen's multi-instance parallelism: chunk ``i`` writes rows
+        ``[i * n / chunks, (i + 1) * n / chunks)`` to its own sink.
+        """
+        try:
+            row_fn = getattr(self, "_row_" + table)
+        except AttributeError:
+            raise GenerationError(f"unknown TPC-H table {table!r}") from None
+        size = self.table_size(table)
+        if not 0 <= chunk < chunks:
+            raise GenerationError(f"chunk {chunk} outside [0, {chunks})")
+        start = size * chunk // chunks
+        stop = size * (chunk + 1) // chunks
+
+        # dbgen's statefulness: one stream per (table, chunk); rows within
+        # the chunk are strictly sequential on it.
+        rng = XorShift128Plus(combine64(self.seed, hash((table, chunk)) & 0x7FFFFFFF))
+        # Skip-ahead so a chunked run sees different randomness per chunk
+        # (dbgen advances its streams to the chunk boundary; one reseed is
+        # the equivalent here because the streams are independent).
+        written = 0
+        for row in range(start, stop):
+            sink.write(row_fn(row, rng))
+            written += 1
+        return written
+
+    def generate_all(self, sink_factory, chunks: int = 1) -> dict[str, int]:
+        """Generate every table; ``sink_factory(table, chunk)`` supplies sinks."""
+        counts: dict[str, int] = {}
+        for table in self.TABLES:
+            total = 0
+            for chunk in range(chunks):
+                sink = sink_factory(table, chunk)
+                total += self.generate_table(table, sink, chunk, chunks)
+            counts[table] = total
+        return counts
+
+    # -- shared value helpers --------------------------------------------------
+
+    @staticmethod
+    def _pick(rng, values):
+        return values[rng.next_long(len(values))]
+
+    def _text(self, rng, min_words: int, max_words: int, max_chars: int) -> str:
+        count = min_words + rng.next_long(max_words - min_words + 1)
+        words = []
+        while len(words) < count:
+            words.append(self._pick(rng, corpus.ADVERBS))
+            words.append(self._pick(rng, corpus.ADJECTIVES))
+            words.append(self._pick(rng, corpus.NOUNS))
+            words.append(self._pick(rng, corpus.VERBS))
+        text = " ".join(words[:count])
+        return text[:max_chars]
+
+    def _phone(self, rng) -> str:
+        return (
+            f"{10 + rng.next_long(25)}-{100 + rng.next_long(900)}"
+            f"-{100 + rng.next_long(900)}-{1000 + rng.next_long(9000)}"
+        )
+
+    def _address(self, rng) -> str:
+        return (
+            f"{1 + rng.next_long(9999)} {self._pick(rng, corpus.STREET_NAMES)} "
+            f"{self._pick(rng, corpus.STREET_SUFFIXES)}, {self._pick(rng, corpus.CITIES)}"
+        )
+
+    @staticmethod
+    def _money(rng, low: float, high: float) -> str:
+        cents_low = int(low * 100)
+        cents_high = int(high * 100)
+        cents = cents_low + rng.next_long(cents_high - cents_low + 1)
+        return f"{cents / 100:.2f}"
+
+    @staticmethod
+    def _date(rng, start_ordinal: int, end_ordinal: int) -> str:
+        day = start_ordinal + rng.next_long(end_ordinal - start_ordinal + 1)
+        return datetime.date.fromordinal(day).isoformat()
+
+    # -- per-table row formatters ------------------------------------------------
+
+    def _row_region(self, row: int, rng) -> str:
+        return f"{row}|{D.REGIONS[row % 5]}|{self._text(rng, 3, 14, 152)}|\n"
+
+    def _row_nation(self, row: int, rng) -> str:
+        name, region = D.NATIONS[row % 25]
+        return f"{row}|{name}|{region}|{self._text(rng, 3, 14, 152)}|\n"
+
+    def _row_supplier(self, row: int, rng) -> str:
+        key = row + 1
+        return (
+            f"{key}|Supplier#{key:09d}|{self._address(rng)}|{rng.next_long(25)}|"
+            f"{self._phone(rng)}|{self._money(rng, D.ACCTBAL_MIN, D.ACCTBAL_MAX)}|"
+            f"{self._text(rng, 3, 14, 101)}|\n"
+        )
+
+    def _row_customer(self, row: int, rng) -> str:
+        key = row + 1
+        return (
+            f"{key}|Customer#{key:09d}|{self._address(rng)}|{rng.next_long(25)}|"
+            f"{self._phone(rng)}|{self._money(rng, D.ACCTBAL_MIN, D.ACCTBAL_MAX)}|"
+            f"{self._pick(rng, D.MARKET_SEGMENTS)}|{self._text(rng, 3, 14, 117)}|\n"
+        )
+
+    def _row_part(self, row: int, rng) -> str:
+        key = row + 1
+        name = " ".join(self._pick(rng, D.PART_NAME_WORDS) for _ in range(5))
+        ptype = (
+            f"{self._pick(rng, D.TYPE_SYLLABLE_1)} "
+            f"{self._pick(rng, D.TYPE_SYLLABLE_2)} {self._pick(rng, D.TYPE_SYLLABLE_3)}"
+        )
+        container = (
+            f"{self._pick(rng, D.CONTAINER_SYLLABLE_1)} "
+            f"{self._pick(rng, D.CONTAINER_SYLLABLE_2)}"
+        )
+        retail = (90000 + ((key // 10) % 20001) + 100 * (key % 1000)) / 100
+        return (
+            f"{key}|{name}|Manufacturer#{1 + rng.next_long(5)}|"
+            f"Brand#{1 + rng.next_long(5)}{1 + rng.next_long(5)}|{ptype}|"
+            f"{1 + rng.next_long(50)}|{container}|{retail:.2f}|"
+            f"{self._text(rng, 2, 5, 23)}|\n"
+        )
+
+    def _row_partsupp(self, row: int, rng) -> str:
+        part = row // D.SUPPLIERS_PER_PART + 1
+        slot = row % D.SUPPLIERS_PER_PART
+        suppliers = self.table_size("supplier")
+        supp = (part + (slot * suppliers) // D.SUPPLIERS_PER_PART) % suppliers + 1
+        return (
+            f"{part}|{supp}|{1 + rng.next_long(9999)}|"
+            f"{self._money(rng, 1.0, 1000.0)}|{self._text(rng, 3, 14, 199)}|\n"
+        )
+
+    def _row_orders(self, row: int, rng) -> str:
+        key = row + 1
+        customers = self.table_size("customer")
+        status = self._pick(rng, D.ORDER_STATUS)
+        return (
+            f"{key}|{1 + rng.next_long(customers)}|{status}|"
+            f"{self._money(rng, 850.0, 555000.0)}|"
+            f"{self._date(rng, _EPOCH_START, _EPOCH_ORDER_END)}|"
+            f"{self._pick(rng, D.ORDER_PRIORITIES)}|Clerk#{1 + rng.next_long(1000):09d}|0|"
+            f"{self._text(rng, 3, 14, 79)}|\n"
+        )
+
+    def _row_lineitem(self, row: int, rng) -> str:
+        orderkey = row // D.LINES_PER_ORDER_AVG + 1
+        linenumber = row % D.LINES_PER_ORDER_AVG + 1
+        parts = self.table_size("part")
+        suppliers = self.table_size("supplier")
+        partkey = 1 + rng.next_long(parts)
+        quantity = 1 + rng.next_long(50)
+        price = quantity * (900 + (partkey % 1001) * 0.1 + (partkey % 1000) * 100) / 100
+        return (
+            f"{orderkey}|{partkey}|{1 + rng.next_long(suppliers)}|{linenumber}|"
+            f"{quantity}|{price:.2f}|{rng.next_long(11) / 100:.2f}|"
+            f"{rng.next_long(9) / 100:.2f}|{self._pick(rng, D.RETURN_FLAGS)}|"
+            f"{self._pick(rng, D.LINE_STATUS)}|"
+            f"{self._date(rng, _EPOCH_START, _EPOCH_END)}|"
+            f"{self._date(rng, _EPOCH_START, _EPOCH_END)}|"
+            f"{self._date(rng, _EPOCH_START, _EPOCH_END)}|"
+            f"{self._pick(rng, D.SHIP_INSTRUCTIONS)}|{self._pick(rng, D.SHIP_MODES)}|"
+            f"{self._text(rng, 2, 6, 44)}|\n"
+        )

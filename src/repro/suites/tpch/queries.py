@@ -1,0 +1,78 @@
+"""TPC-H validation queries (SQLite dialect).
+
+The demo verifies synthetic data "by running SQL queries on the original
+data and the generated data and compar[ing] the results" (paper §5).
+These are reduced forms of TPC-H Q1, Q3, Q5, and Q6 that run on SQLite
+and exercise the joins and aggregates the benchmark cares about.
+"""
+
+from __future__ import annotations
+
+# Q1: pricing summary report (fixed date cut-off).
+Q1_PRICING_SUMMARY = """
+SELECT l_returnflag,
+       l_linestatus,
+       SUM(l_quantity)                                        AS sum_qty,
+       SUM(l_extendedprice)                                   AS sum_base_price,
+       SUM(l_extendedprice * (1 - l_discount))                AS sum_disc_price,
+       AVG(l_quantity)                                        AS avg_qty,
+       AVG(l_extendedprice)                                   AS avg_price,
+       AVG(l_discount)                                        AS avg_disc,
+       COUNT(*)                                               AS count_order
+FROM lineitem
+WHERE l_shipdate <= '1998-09-02'
+GROUP BY l_returnflag, l_linestatus
+ORDER BY l_returnflag, l_linestatus
+"""
+
+# Q3: shipping priority (top unshipped orders for one segment).
+Q3_SHIPPING_PRIORITY = """
+SELECT l_orderkey,
+       SUM(l_extendedprice * (1 - l_discount)) AS revenue,
+       o_orderdate,
+       o_shippriority
+FROM customer, orders, lineitem
+WHERE c_mktsegment = 'BUILDING'
+  AND c_custkey = o_custkey
+  AND l_orderkey = o_orderkey
+  AND o_orderdate < '1995-03-15'
+  AND l_shipdate > '1995-03-15'
+GROUP BY l_orderkey, o_orderdate, o_shippriority
+ORDER BY revenue DESC, o_orderdate
+LIMIT 10
+"""
+
+# Q5: local supplier volume (one region, one year).
+Q5_LOCAL_SUPPLIER_VOLUME = """
+SELECT n_name,
+       SUM(l_extendedprice * (1 - l_discount)) AS revenue
+FROM customer, orders, lineitem, supplier, nation, region
+WHERE c_custkey = o_custkey
+  AND l_orderkey = o_orderkey
+  AND l_suppkey = s_suppkey
+  AND c_nationkey = s_nationkey
+  AND s_nationkey = n_nationkey
+  AND n_regionkey = r_regionkey
+  AND r_name = 'ASIA'
+  AND o_orderdate >= '1994-01-01'
+  AND o_orderdate < '1995-01-01'
+GROUP BY n_name
+ORDER BY revenue DESC
+"""
+
+# Q6: forecasting revenue change (selective scan aggregate).
+Q6_FORECAST_REVENUE = """
+SELECT SUM(l_extendedprice * l_discount) AS revenue
+FROM lineitem
+WHERE l_shipdate >= '1994-01-01'
+  AND l_shipdate < '1995-01-01'
+  AND l_discount BETWEEN 0.05 AND 0.07
+  AND l_quantity < 24
+"""
+
+ALL_QUERIES = {
+    "Q1": Q1_PRICING_SUMMARY,
+    "Q3": Q3_SHIPPING_PRIORITY,
+    "Q5": Q5_LOCAL_SUPPLIER_VOLUME,
+    "Q6": Q6_FORECAST_REVENUE,
+}

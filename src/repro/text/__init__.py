@@ -1,0 +1,17 @@
+"""Text modelling substrate: tokenization, dictionaries, Markov chains."""
+
+from repro.text.dictionary import DictionaryEntry, WeightedDictionary
+from repro.text.markov import END, MarkovChain, train_chain
+from repro.text.tokenizer import classify_values, is_multi_word, sentences, words
+
+__all__ = [
+    "DictionaryEntry",
+    "WeightedDictionary",
+    "END",
+    "MarkovChain",
+    "train_chain",
+    "classify_values",
+    "is_multi_word",
+    "sentences",
+    "words",
+]

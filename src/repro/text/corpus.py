@@ -1,0 +1,177 @@
+"""Built-in word lists and corpora.
+
+PDGF ships dictionaries for common semantic domains (names, addresses,
+URLs, comments) so that models built *without* sampling the source
+database still produce realistic values (paper §3: "If the database is
+not sampled, the column name is parsed to determine whether a matching
+high level generator construct exists"). These lists back the semantic
+generators and the fallback text corpus used to seed Markov models when
+no sample is available.
+
+Lists are intentionally modest (tens to hundreds of entries); PDGF
+extends the value domain in scale-out scenarios by combining entries,
+not by shipping bigger dictionaries.
+"""
+
+from __future__ import annotations
+
+FIRST_NAMES = [
+    "James", "Mary", "Robert", "Patricia", "John", "Jennifer", "Michael",
+    "Linda", "David", "Elizabeth", "William", "Barbara", "Richard", "Susan",
+    "Joseph", "Jessica", "Thomas", "Sarah", "Charles", "Karen", "Christopher",
+    "Lisa", "Daniel", "Nancy", "Matthew", "Betty", "Anthony", "Margaret",
+    "Mark", "Sandra", "Donald", "Ashley", "Steven", "Kimberly", "Paul",
+    "Emily", "Andrew", "Donna", "Joshua", "Michelle", "Kenneth", "Carol",
+    "Kevin", "Amanda", "Brian", "Dorothy", "George", "Melissa", "Timothy",
+    "Deborah", "Ronald", "Stephanie", "Edward", "Rebecca", "Jason", "Sharon",
+    "Jeffrey", "Laura", "Ryan", "Cynthia", "Jacob", "Kathleen", "Gary",
+    "Amy", "Nicholas", "Angela", "Eric", "Shirley", "Jonathan", "Anna",
+    "Stephen", "Brenda", "Larry", "Pamela", "Justin", "Emma", "Scott",
+    "Nicole", "Brandon", "Helen", "Benjamin", "Samantha", "Samuel",
+    "Katherine", "Gregory", "Christine", "Alexander", "Debra", "Patrick",
+    "Rachel", "Frank", "Carolyn", "Raymond", "Janet", "Jack", "Maria",
+    "Dennis", "Olivia", "Jerry", "Heather",
+]
+
+LAST_NAMES = [
+    "Smith", "Johnson", "Williams", "Brown", "Jones", "Garcia", "Miller",
+    "Davis", "Rodriguez", "Martinez", "Hernandez", "Lopez", "Gonzalez",
+    "Wilson", "Anderson", "Thomas", "Taylor", "Moore", "Jackson", "Martin",
+    "Lee", "Perez", "Thompson", "White", "Harris", "Sanchez", "Clark",
+    "Ramirez", "Lewis", "Robinson", "Walker", "Young", "Allen", "King",
+    "Wright", "Scott", "Torres", "Nguyen", "Hill", "Flores", "Green",
+    "Adams", "Nelson", "Baker", "Hall", "Rivera", "Campbell", "Mitchell",
+    "Carter", "Roberts", "Gomez", "Phillips", "Evans", "Turner", "Diaz",
+    "Parker", "Cruz", "Edwards", "Collins", "Reyes", "Stewart", "Morris",
+    "Morales", "Murphy", "Cook", "Rogers", "Gutierrez", "Ortiz", "Morgan",
+    "Cooper", "Peterson", "Bailey", "Reed", "Kelly", "Howard", "Ramos",
+    "Kim", "Cox", "Ward", "Richardson", "Watson", "Brooks", "Chavez",
+    "Wood", "James", "Bennett", "Gray", "Mendoza", "Ruiz", "Hughes",
+    "Price", "Alvarez", "Castillo", "Sanders", "Patel", "Myers", "Long",
+    "Ross", "Foster", "Jimenez",
+]
+
+CITIES = [
+    "Springfield", "Riverside", "Franklin", "Greenville", "Bristol",
+    "Clinton", "Fairview", "Salem", "Madison", "Georgetown", "Arlington",
+    "Ashland", "Dover", "Oxford", "Jackson", "Burlington", "Manchester",
+    "Milton", "Newport", "Auburn", "Centerville", "Clayton", "Dayton",
+    "Lexington", "Milford", "Oakland", "Winchester", "Hudson", "Kingston",
+    "Marion", "Monroe", "Princeton", "Richmond", "Troy", "Lebanon",
+    "Florence", "Glendale", "Lancaster", "Hamilton", "Aurora",
+]
+
+STREET_NAMES = [
+    "Main", "Oak", "Pine", "Maple", "Cedar", "Elm", "Washington", "Lake",
+    "Hill", "Park", "Walnut", "Spring", "North", "Ridge", "Church",
+    "Willow", "Mill", "Sunset", "Railroad", "Jefferson", "Center", "Forest",
+    "Highland", "Johnson", "River", "Meadow", "Chestnut", "Franklin",
+    "Hickory", "Dogwood",
+]
+
+STREET_SUFFIXES = [
+    "Street", "Avenue", "Boulevard", "Drive", "Lane", "Road", "Court",
+    "Place", "Terrace", "Way",
+]
+
+COUNTRIES = [
+    "Algeria", "Argentina", "Brazil", "Canada", "Egypt", "Ethiopia",
+    "France", "Germany", "India", "Indonesia", "Iran", "Iraq", "Japan",
+    "Jordan", "Kenya", "China", "Morocco", "Mozambique", "Peru", "Romania",
+    "Russia", "Saudi Arabia", "United Kingdom", "United States", "Vietnam",
+]
+
+EMAIL_DOMAINS = [
+    "example.com", "example.org", "example.net", "mail.test", "inbox.test",
+    "post.example", "corp.example", "web.example",
+]
+
+URL_SCHEMES = ["http", "https"]
+
+URL_HOST_WORDS = [
+    "shop", "data", "cloud", "info", "portal", "market", "store", "media",
+    "app", "hub", "lab", "world", "zone", "base", "link", "site",
+]
+
+TOP_LEVEL_DOMAINS = ["com", "org", "net", "io", "info", "biz"]
+
+COMPANY_SUFFIXES = ["Inc", "LLC", "Ltd", "GmbH", "Corp", "Group", "Partners", "Co"]
+
+COMPANY_WORDS = [
+    "Global", "United", "Advanced", "Pacific", "Summit", "Pioneer",
+    "Quantum", "Sterling", "Vertex", "Atlas", "Nova", "Apex", "Crown",
+    "Beacon", "Cascade", "Horizon", "Keystone", "Liberty", "Meridian",
+    "Northern",
+]
+
+# The adjectives/nouns/verbs below follow the flavour of the TPC-H dbgen
+# text grammar: short business-prose words that compose into plausible
+# comment strings. They seed fallback Markov models and the random text
+# generator.
+ADJECTIVES = [
+    "furious", "sly", "careful", "blithe", "quick", "fluffy", "slow",
+    "quiet", "ruthless", "thin", "close", "dogged", "daring", "busy",
+    "bold", "regular", "final", "ironic", "even", "special", "silent",
+    "pending", "express", "unusual", "idle",
+]
+
+NOUNS = [
+    "packages", "requests", "accounts", "deposits", "foxes", "ideas",
+    "theodolites", "pinto beans", "instructions", "dependencies", "excuses",
+    "platelets", "asymptotes", "courts", "dolphins", "multipliers",
+    "sauternes", "warthogs", "frets", "dinos", "attainments", "somas",
+    "braids", "hockey players", "sheaves", "realms", "epitaphs", "grouches",
+    "escapades", "waters",
+]
+
+VERBS = [
+    "sleep", "wake", "are", "cajole", "haggle", "nag", "use", "boost",
+    "affix", "detect", "integrate", "maintain", "nod", "was", "lose",
+    "sublate", "solve", "thrash", "promise", "engage", "hinder", "print",
+    "doze", "run", "dazzle", "snooze", "doubt", "unwind", "kindle", "play",
+]
+
+ADVERBS = [
+    "sometimes", "always", "never", "furiously", "slyly", "carefully",
+    "blithely", "quickly", "fluffily", "slowly", "quietly", "ruthlessly",
+    "thinly", "closely", "doggedly", "daringly", "busily", "boldly",
+    "ironically", "evenly", "finally", "silently",
+]
+
+PREPOSITIONS = [
+    "about", "above", "according to", "across", "after", "against", "along",
+    "among", "around", "at", "atop", "before", "behind", "beneath", "beside",
+    "besides", "between", "beyond", "by", "despite", "during", "except",
+    "from", "inside", "instead of", "into", "near", "of", "on", "outside",
+    "over", "past", "since", "through", "throughout", "to", "toward",
+    "under", "until", "up", "upon", "without", "with", "within",
+]
+
+AUXILIARIES = [
+    "do", "may", "might", "shall", "will", "would", "can", "could", "should",
+    "ought to", "must", "try to", "attempt to", "need to", "are able to",
+]
+
+TERMINATORS = [".", ";", ":", "?", "!", "--"]
+
+
+def comment_sentences(rng, count: int = 200) -> list[str]:
+    """Generate dbgen-grammar-style sentences as a fallback corpus.
+
+    Each sentence is ``noun verb [adverb] [prep noun] terminator`` with
+    adjective decoration, mirroring the TPC-H text grammar closely enough
+    to train Markov models with realistic branching (~1500-word class).
+    """
+    sentences: list[str] = []
+    for _ in range(count):
+        parts = [ADVERBS[rng.next_long(len(ADVERBS))]]
+        parts.append(ADJECTIVES[rng.next_long(len(ADJECTIVES))])
+        parts.append(NOUNS[rng.next_long(len(NOUNS))])
+        parts.append(VERBS[rng.next_long(len(VERBS))])
+        if rng.next_double() < 0.5:
+            parts.append(PREPOSITIONS[rng.next_long(len(PREPOSITIONS))])
+            parts.append("the")
+            parts.append(NOUNS[rng.next_long(len(NOUNS))])
+        sentence = " ".join(parts) + TERMINATORS[rng.next_long(len(TERMINATORS))]
+        sentences.append(sentence)
+    return sentences

@@ -1,0 +1,218 @@
+"""Markov chain text models.
+
+The paper's headline value-level feature: DBSynth samples free-text
+columns, analyzes "word combination frequencies and probabilities"
+(paper §3), and stores a Markov model that PDGF's MarkovChainGenerator
+replays. For TPC-H's comment column the paper reports ~1500 words and 95
+starting states — small enough to keep in memory, which this
+implementation also relies on.
+
+The model is an order-``k`` chain over word tokens: states are ``k``-token
+tuples, transitions carry observed counts, and a separate weighted set of
+*starting states* seeds each generated text. Serialization is JSON so
+models ship alongside the schema XML like PDGF's ``markov/*.bin`` files.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter, defaultdict
+from typing import Iterable, Sequence
+
+from repro.exceptions import ModelError
+from repro.prng.distributions import Categorical, RandomSource
+from repro.text.tokenizer import words as tokenize
+
+END = "\x00END"  # sentinel token marking end-of-text transitions
+
+
+class MarkovChain:
+    """An order-``k`` Markov model over word tokens.
+
+    Build with :meth:`train`; generate with :meth:`generate`. The chain
+    stores raw counts so that training is mergeable (scale-out extraction
+    can profile partitions independently and merge)."""
+
+    def __init__(self, order: int = 1) -> None:
+        if order < 1:
+            raise ModelError(f"Markov order must be >= 1, got {order}")
+        self.order = order
+        self._starts: Counter[tuple[str, ...]] = Counter()
+        self._transitions: dict[tuple[str, ...], Counter[str]] = defaultdict(Counter)
+        self._start_sampler: Categorical | None = None
+        self._transition_samplers: dict[tuple[str, ...], Categorical] = {}
+
+    # -- training ----------------------------------------------------------
+
+    def train(self, text: str) -> None:
+        """Add one document's transitions to the model."""
+        tokens = tokenize(text)
+        if not tokens:
+            return
+        if len(tokens) < self.order:
+            # Short document: record it as a start state padded with END.
+            state = tuple(tokens) + (END,) * (self.order - len(tokens))
+            self._starts[state] += 1
+            self._invalidate()
+            return
+        start = tuple(tokens[: self.order])
+        self._starts[start] += 1
+        for i in range(len(tokens) - self.order):
+            state = tuple(tokens[i : i + self.order])
+            self._transitions[state][tokens[i + self.order]] += 1
+        tail = tuple(tokens[len(tokens) - self.order :])
+        self._transitions[tail][END] += 1
+        self._invalidate()
+
+    def train_all(self, texts: Iterable[str]) -> None:
+        for text in texts:
+            self.train(text)
+
+    def merge(self, other: "MarkovChain") -> None:
+        """Merge another chain's counts into this one (partition merge)."""
+        if other.order != self.order:
+            raise ModelError(
+                f"cannot merge order-{other.order} into order-{self.order} chain"
+            )
+        self._starts.update(other._starts)
+        for state, counter in other._transitions.items():
+            self._transitions[state].update(counter)
+        self._invalidate()
+
+    def _invalidate(self) -> None:
+        self._start_sampler = None
+        self._transition_samplers.clear()
+
+    # -- statistics --------------------------------------------------------
+
+    @property
+    def trained(self) -> bool:
+        return bool(self._starts)
+
+    def vocabulary(self) -> set[str]:
+        vocab: set[str] = set()
+        for state in self._starts:
+            vocab.update(t for t in state if t != END)
+        for state, counter in self._transitions.items():
+            vocab.update(t for t in state if t != END)
+            vocab.update(t for t in counter if t != END)
+        return vocab
+
+    def num_states(self) -> int:
+        return len(self._transitions)
+
+    def num_start_states(self) -> int:
+        return len(self._starts)
+
+    def transition_probabilities(self, state: tuple[str, ...]) -> dict[str, float]:
+        counter = self._transitions.get(tuple(state))
+        if not counter:
+            return {}
+        total = sum(counter.values())
+        return {token: count / total for token, count in counter.items()}
+
+    # -- generation --------------------------------------------------------
+
+    def _start_categorical(self) -> Categorical:
+        if self._start_sampler is None:
+            if not self._starts:
+                raise ModelError("Markov chain has not been trained")
+            items = sorted(self._starts.items(), key=lambda kv: (-kv[1], kv[0]))
+            self._start_sampler = Categorical(
+                [state for state, _ in items], [count for _, count in items]
+            )
+        return self._start_sampler
+
+    def _transition_categorical(self, state: tuple[str, ...]) -> Categorical | None:
+        sampler = self._transition_samplers.get(state)
+        if sampler is None:
+            counter = self._transitions.get(state)
+            if not counter:
+                return None
+            items = sorted(counter.items(), key=lambda kv: (-kv[1], kv[0]))
+            sampler = Categorical(
+                [token for token, _ in items], [count for _, count in items]
+            )
+            self._transition_samplers[state] = sampler
+        return sampler
+
+    def generate(
+        self, rng: RandomSource, min_words: int = 1, max_words: int = 50
+    ) -> str:
+        """Generate one text of between *min_words* and *max_words* tokens.
+
+        Generation follows observed transitions; it stops early at an END
+        transition once *min_words* is reached, and re-seeds from a start
+        state if it hits END before that.
+        """
+        if min_words < 1 or max_words < min_words:
+            raise ModelError(f"bad word bounds [{min_words}, {max_words}]")
+        # Retry whole texts that end before min_words instead of splicing
+        # a new start state onto the tail: splicing would create token
+        # adjacencies never observed in training, breaking the invariant
+        # that generated text only contains trained transitions.
+        best: list[str] = []
+        for _attempt in range(20):
+            out: list[str] = []
+            state = tuple(self._start_categorical().sample(rng))  # type: ignore[arg-type]
+            out.extend(t for t in state if t != END)
+            while len(out) < max_words:
+                sampler = self._transition_categorical(state)
+                token = sampler.sample(rng) if sampler else END
+                if token == END:
+                    break
+                out.append(str(token))
+                state = state[1:] + (str(token),)
+            if len(out) >= min_words:
+                return " ".join(out[:max_words])
+            if len(out) > len(best):
+                best = out
+        # Every trained text is shorter than min_words; return the longest
+        # attempt rather than looping forever.
+        return " ".join(best[:max_words])
+
+    # -- serialization -----------------------------------------------------
+
+    def dumps(self) -> str:
+        payload = {
+            "order": self.order,
+            "starts": [[list(state), count] for state, count in sorted(self._starts.items())],
+            "transitions": [
+                [list(state), sorted(counter.items())]
+                for state, counter in sorted(self._transitions.items())
+            ],
+        }
+        return json.dumps(payload)
+
+    @classmethod
+    def loads(cls, text: str) -> "MarkovChain":
+        try:
+            payload = json.loads(text)
+            chain = cls(order=int(payload["order"]))
+            for state, count in payload["starts"]:
+                chain._starts[tuple(state)] = int(count)
+            for state, items in payload["transitions"]:
+                counter = chain._transitions[tuple(state)]
+                for token, count in items:
+                    counter[token] = int(count)
+        except (ValueError, KeyError, TypeError) as exc:
+            raise ModelError(f"bad Markov chain serialization: {exc}") from exc
+        return chain
+
+    def save(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.dumps())
+
+    @classmethod
+    def load(cls, path: str) -> "MarkovChain":
+        with open(path, encoding="utf-8") as handle:
+            return cls.loads(handle.read())
+
+
+def train_chain(texts: Sequence[str], order: int = 1) -> MarkovChain:
+    """Convenience: build and train a chain in one call."""
+    chain = MarkovChain(order=order)
+    chain.train_all(texts)
+    if not chain.trained:
+        raise ModelError("no non-empty texts to train a Markov chain on")
+    return chain

@@ -1,0 +1,53 @@
+"""Tokenization for text profiling.
+
+DBSynth decides per text column whether it holds *single-word* values
+(→ dictionary) or *free text* (→ Markov chain) by tokenizing samples.
+The tokenizer is deliberately simple and loss-tolerant: the goal is a
+statistical model of word combinations, not linguistic fidelity.
+"""
+
+from __future__ import annotations
+
+import re
+
+_WORD_RE = re.compile(r"[^\s]+")
+_SENTENCE_END_RE = re.compile(r"[.!?]+\s+")
+
+
+def words(text: str) -> list[str]:
+    """Split text into whitespace-delimited tokens, keeping punctuation
+    attached (PDGF's Markov models are trained on raw tokens so that
+    generated text keeps realistic punctuation)."""
+    if not text:
+        return []
+    return _WORD_RE.findall(text)
+
+
+def sentences(text: str) -> list[str]:
+    """Split text into sentences on terminal punctuation."""
+    if not text:
+        return []
+    parts = _SENTENCE_END_RE.split(text)
+    return [part.strip() for part in parts if part.strip()]
+
+
+def is_multi_word(text: str) -> bool:
+    """True if the value contains more than one token (paper §3: "If the
+    text data contains multiple words, DBSynth uses a Markov chain
+    generator")."""
+    return len(words(text)) > 1
+
+
+def classify_values(values: list[str], multi_word_threshold: float = 0.3) -> str:
+    """Classify a sample of column values as ``"dictionary"`` or ``"text"``.
+
+    A column is treated as free text when more than *multi_word_threshold*
+    of its non-empty values are multi-word.
+    """
+    non_empty = [v for v in values if v]
+    if not non_empty:
+        return "dictionary"
+    multi = sum(1 for v in non_empty if is_multi_word(v))
+    if multi / len(non_empty) > multi_word_threshold:
+        return "text"
+    return "dictionary"

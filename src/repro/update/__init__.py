@@ -1,0 +1,5 @@
+"""Update generation: deterministic insert/update/delete epochs."""
+
+from repro.update.blackbox import EpochPlan, UpdateBlackBox, UpdateEvent
+
+__all__ = ["EpochPlan", "UpdateBlackBox", "UpdateEvent"]

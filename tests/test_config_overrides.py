@@ -1,0 +1,83 @@
+"""Tests for CLI property overrides and the built-in corpus."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config.overrides import apply_overrides, parse_override
+from repro.exceptions import PropertyError
+from repro.model.properties import PropertySet
+from repro.prng.xorshift import XorShift64Star
+from repro.text import corpus
+
+
+class TestParseOverride:
+    def test_simple(self):
+        assert parse_override("SF=10") == ("SF", "10")
+
+    def test_whitespace_stripped(self):
+        assert parse_override("  SF = 2.5 ") == ("SF", "2.5")
+
+    def test_value_may_contain_equals(self):
+        # Only the first '=' splits (formulas may contain none, but
+        # string properties could hold anything).
+        assert parse_override("expr=a=b") == ("expr", "a=b")
+
+    def test_formula_value(self):
+        name, value = parse_override("lineitem_size=1000*${SF}")
+        assert value == "1000*${SF}"
+
+    def test_missing_equals(self):
+        with pytest.raises(PropertyError, match="NAME=VALUE"):
+            parse_override("SF")
+
+    def test_empty_name(self):
+        with pytest.raises(PropertyError):
+            parse_override("=5")
+
+
+class TestApplyOverrides:
+    def test_applies_in_order(self):
+        props = PropertySet()
+        props.define("SF", "1")
+        apply_overrides(props, ["SF=2", "SF=3"])
+        assert props.get_float("SF") == 3.0
+
+    def test_formula_override_resolves(self):
+        props = PropertySet()
+        props.define("SF", "2")
+        apply_overrides(props, ["size=100*${SF}"])
+        assert props.get_float("size") == 200.0
+
+    def test_empty_list(self):
+        props = PropertySet()
+        assert apply_overrides(props, []) is props
+
+
+class TestCorpus:
+    def test_word_lists_nonempty_and_unique(self):
+        for name in ("FIRST_NAMES", "LAST_NAMES", "CITIES", "STREET_NAMES",
+                     "COUNTRIES", "ADJECTIVES", "NOUNS", "VERBS", "ADVERBS",
+                     "PREPOSITIONS", "AUXILIARIES"):
+            values = getattr(corpus, name)
+            assert values, name
+            assert len(values) == len(set(values)), f"{name} has duplicates"
+
+    def test_comment_sentences_deterministic(self):
+        a = corpus.comment_sentences(XorShift64Star(5), count=50)
+        b = corpus.comment_sentences(XorShift64Star(5), count=50)
+        assert a == b
+
+    def test_comment_sentences_shape(self):
+        sentences = corpus.comment_sentences(XorShift64Star(7), count=100)
+        assert len(sentences) == 100
+        for sentence in sentences:
+            assert sentence[-1] in ".;:?!-"
+            assert len(sentence.split()) >= 4
+
+    def test_comment_corpus_vocabulary_scale(self):
+        # The trained model lands in the paper's "fits in memory" class.
+        from repro.text.markov import train_chain
+
+        chain = train_chain(corpus.comment_sentences(XorShift64Star(1), 400))
+        assert 100 <= len(chain.vocabulary()) <= 5000

@@ -1,0 +1,191 @@
+"""Tests for DBSynth's model builder — the paper's generator-choice
+policy (§3) and the resulting models."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.dictionary_builder import DictionaryBuilder, dictionary_artifact_name
+from repro.core.extraction import SchemaExtractor
+from repro.core.markov_builder import MarkovBuilder, markov_artifact_name
+from repro.core.model_builder import BuildOptions, ModelBuilder, build_model
+from repro.core.profiling import DataProfiler
+from repro.core.sampling import SampleConfig
+from repro.db.sqlite_adapter import SQLiteAdapter
+from repro.engine import GenerationEngine
+from repro.exceptions import ExtractionError
+from repro.generators.base import ArtifactStore
+from repro.model.validation import ensure_valid
+
+
+@pytest.fixture
+def built(imdb_adapter):
+    return build_model(imdb_adapter, name="imdb")
+
+
+class TestGeneratorChoice:
+    def test_foreign_keys_beat_everything(self, built):
+        decision = built.decision_for("cast_members", "movie_id")
+        assert decision.generator == "DefaultReferenceGenerator"
+        spec = built.schema.table_by_name("cast_members").field_by_name(
+            "movie_id"
+        ).generator
+        assert spec.params["table"] == "movies"
+
+    def test_primary_integer_becomes_id(self, built):
+        assert built.decision_for("movies", "movie_id").generator == "IdGenerator"
+
+    def test_categorical_text_becomes_dictionary(self, built):
+        decision = built.decision_for("movies", "genre")
+        assert decision.generator == "DictListGenerator"
+        assert dictionary_artifact_name("movies", "genre") in built.artifacts
+
+    def test_free_text_becomes_markov(self, built):
+        field = built.schema.table_by_name("movies").field_by_name("plot")
+        spec = field.generator
+        # plot is nullable in the source, so the Markov generator sits
+        # inside a NULL wrapper.
+        assert spec.name == "NullGenerator"
+        assert spec.child().name == "MarkovChainGenerator"
+        assert markov_artifact_name("movies", "plot") in built.artifacts
+
+    def test_numeric_bounds_from_profile(self, built, imdb_adapter):
+        schema = built.schema
+        lo, hi = imdb_adapter.min_max("movies", "votes")
+        assert schema.properties.get_float("movies_votes_min") == lo
+        assert schema.properties.get_float("movies_votes_max") == hi
+
+    def test_null_wrapper_probability_matches_source(self, built, imdb_adapter):
+        spec = built.schema.table_by_name("people").field_by_name(
+            "birth_year"
+        ).generator
+        assert spec.name == "NullGenerator"
+        expected = imdb_adapter.null_fraction("people", "birth_year")
+        assert float(spec.params["probability"]) == pytest.approx(expected, abs=1e-4)
+
+    def test_table_sizes_scale_with_sf(self, built):
+        schema = built.schema
+        assert schema.table_size("movies") == 80
+        schema.properties.override("SF", 2)
+        assert schema.table_size("movies") == 160
+
+    def test_model_validates(self, built):
+        ensure_valid(built.schema)
+
+    def test_model_generates(self, built):
+        engine = GenerationEngine(built.schema, built.artifacts)
+        rows = list(engine.iter_rows("movies", 0, 10))
+        assert len(rows) == 10
+        assert rows[0][0] == 1  # movie_id from IdGenerator
+
+    def test_decisions_cover_every_column(self, built, imdb_adapter):
+        total_columns = sum(
+            len(imdb_adapter.columns(t)) for t in imdb_adapter.table_names()
+        )
+        assert len(built.decisions) == total_columns
+
+    def test_decision_lookup_missing(self, built):
+        with pytest.raises(ExtractionError):
+            built.decision_for("movies", "ghost")
+
+
+class TestNoSampling:
+    def test_rule_fallback_without_sampling(self, imdb_adapter):
+        extracted = SchemaExtractor(imdb_adapter).extract()
+        profile = DataProfiler(imdb_adapter).profile(extracted)
+        builder = ModelBuilder(imdb_adapter, BuildOptions(sample_data=False))
+        result = builder.build(extracted, profile, name="imdb_nosample")
+        # Without sampling, name rules choose high-level generators
+        # (paper §3: "the column name is parsed to determine whether a
+        # matching high level generator construct exists").
+        title = result.decision_for("people", "name")
+        assert title.generator in ("PersonNameGenerator", "NullGenerator")
+        plot = result.schema.table_by_name("movies").field_by_name("plot").generator
+        inner = plot.child() if plot.name == "NullGenerator" else plot
+        assert inner.name == "TextGenerator"
+        assert not result.artifacts.names()
+
+    def test_unmatched_text_falls_back_to_random_string(self, imdb_adapter):
+        imdb_adapter.execute_script(
+            "CREATE TABLE odd (xyzzy VARCHAR(12)); INSERT INTO odd VALUES ('abc');"
+        )
+        result = build_model(
+            imdb_adapter, options=BuildOptions(sample_data=False), profile=False
+        )
+        assert result.decision_for("odd", "xyzzy").generator == "RandomStringGenerator"
+
+
+class TestCatalogOnlyModel:
+    def test_basic_extraction_without_profile(self, imdb_adapter):
+        result = build_model(imdb_adapter, profile=False)
+        ensure_valid(result.schema)
+        # No NULL wrappers without profiling (no null stats available).
+        spec = result.schema.table_by_name("people").field_by_name(
+            "birth_year"
+        ).generator
+        assert spec.name != "NullGenerator"
+
+
+class TestConstantColumns:
+    def test_constant_becomes_static(self, imdb_adapter):
+        imdb_adapter.execute_script(
+            "CREATE TABLE k (flag INTEGER); "
+            "INSERT INTO k VALUES (7), (7), (7), (7);"
+        )
+        result = build_model(imdb_adapter)
+        assert result.decision_for("k", "flag").generator == "StaticValueGenerator"
+        engine = GenerationEngine(result.schema, result.artifacts)
+        assert all(v[0] == 7 for v in engine.iter_rows("k"))
+
+
+class TestBuilders:
+    def test_dictionary_builder(self, imdb_adapter):
+        extracted = SchemaExtractor(imdb_adapter).extract()
+        artifacts = ArtifactStore()
+        dictionary = DictionaryBuilder(
+            imdb_adapter, SampleConfig(fraction=1.0)
+        ).build(extracted, "movies", "genre", artifacts)
+        source_genres = {
+            row[0] for row in imdb_adapter.execute("SELECT DISTINCT genre FROM movies")
+        }
+        assert set(dictionary.values()) == source_genres
+        assert dictionary_artifact_name("movies", "genre") in artifacts
+
+    def test_dictionary_builder_empty_column(self, imdb_adapter):
+        imdb_adapter.execute_script("CREATE TABLE e (t TEXT);")
+        extracted = SchemaExtractor(imdb_adapter).extract()
+        with pytest.raises(ExtractionError):
+            DictionaryBuilder(imdb_adapter).build(
+                extracted, "e", "t", ArtifactStore()
+            )
+
+    def test_markov_builder_parameters_from_data(self, imdb_adapter):
+        extracted = SchemaExtractor(imdb_adapter).extract()
+        result = MarkovBuilder(imdb_adapter, SampleConfig(fraction=1.0)).build(
+            extracted, "movies", "plot", ArtifactStore()
+        )
+        assert result.chain.trained
+        assert 1 <= result.min_words <= result.max_words
+        assert result.vocabulary_size > 10
+        assert result.start_states >= 1
+
+    def test_markov_builder_empty_column(self, imdb_adapter):
+        imdb_adapter.execute_script("CREATE TABLE e2 (t TEXT);")
+        extracted = SchemaExtractor(imdb_adapter).extract()
+        with pytest.raises(ExtractionError):
+            MarkovBuilder(imdb_adapter).build(extracted, "e2", "t", ArtifactStore())
+
+
+class TestDeterminismOfBuiltModels:
+    def test_same_source_same_model(self, imdb_adapter):
+        from repro.config import schema_xml
+
+        a = build_model(imdb_adapter, name="m")
+        b = build_model(imdb_adapter, name="m")
+        assert schema_xml.dumps(a.schema) == schema_xml.dumps(b.schema)
+
+    def test_generated_data_is_repeatable(self, imdb_adapter):
+        result = build_model(imdb_adapter, name="m")
+        a = GenerationEngine(result.schema, result.artifacts)
+        b = GenerationEngine(result.schema, result.artifacts)
+        assert list(a.iter_rows("movies", 0, 20)) == list(b.iter_rows("movies", 0, 20))

@@ -1,0 +1,121 @@
+"""Tests for the column-name rule engine (paper §3)."""
+
+from __future__ import annotations
+
+from repro.core.rules import NameRule, RuleEngine, default_rules
+from repro.model.datatypes import TypeFamily
+from repro.model.schema import GeneratorSpec
+
+
+class TestDefaultRules:
+    def setup_method(self):
+        self.engine = RuleEngine()
+
+    def _generator(self, column: str, family=TypeFamily.TEXT):
+        spec = self.engine.match(column, family)
+        return spec.name if spec else None
+
+    def test_paper_example_key_and_id(self):
+        # "numeric columns with name key or id will be generated with an
+        # ID generator" (paper §3).
+        assert self._generator("l_orderkey", TypeFamily.INTEGER) == "IdGenerator"
+        assert self._generator("customer_id", TypeFamily.INTEGER) == "IdGenerator"
+        assert self._generator("id", TypeFamily.INTEGER) == "IdGenerator"
+        assert self._generator("key", TypeFamily.INTEGER) == "IdGenerator"
+
+    def test_id_rule_requires_numeric_type(self):
+        assert self._generator("id", TypeFamily.TEXT) != "IdGenerator"
+
+    def test_email(self):
+        assert self._generator("email") == "EmailGenerator"
+        assert self._generator("contact_mail") == "EmailGenerator"
+
+    def test_url(self):
+        assert self._generator("homepage_url") == "UrlGenerator"
+        assert self._generator("website") == "UrlGenerator"
+
+    def test_phone(self):
+        assert self._generator("phone") == "PhoneGenerator"
+        assert self._generator("fax_number") == "PhoneGenerator"
+
+    def test_address(self):
+        assert self._generator("s_address") == "AddressGenerator"
+        assert self._generator("street") == "AddressGenerator"
+
+    def test_city_country(self):
+        assert self._generator("city") == "CityGenerator"
+        assert self._generator("home_town") == "CityGenerator"
+        assert self._generator("country") == "CountryGenerator"
+        assert self._generator("nation_name") == "CountryGenerator"
+
+    def test_person_name(self):
+        assert self._generator("first_name") == "PersonNameGenerator"
+        assert self._generator("customer_name") == "PersonNameGenerator"
+        assert self._generator("name") == "PersonNameGenerator"
+
+    def test_company(self):
+        assert self._generator("supplier") == "CompanyNameGenerator"
+        assert self._generator("brand") == "CompanyNameGenerator"
+
+    def test_comment_text(self):
+        assert self._generator("l_comment") == "TextGenerator"
+        assert self._generator("description") == "TextGenerator"
+        assert self._generator("review_text") == "TextGenerator"
+        assert self._generator("plot") == "TextGenerator"
+
+    def test_no_match(self):
+        assert self.engine.match("xyzzy", TypeFamily.TEXT) is None
+
+    def test_case_insensitive(self):
+        assert self._generator("EMAIL") == "EmailGenerator"
+
+    def test_specificity_order(self):
+        # "nation_key" is numeric → id beats country.
+        assert self._generator("nation_key", TypeFamily.INTEGER) == "IdGenerator"
+
+
+class TestCustomRules:
+    def test_prepend_takes_priority(self):
+        engine = RuleEngine()
+        engine.prepend(NameRule(
+            "custom-email",
+            r"email",
+            lambda: GeneratorSpec("RandomStringGenerator"),
+            families=(TypeFamily.TEXT,),
+        ))
+        spec = engine.match("email", TypeFamily.TEXT)
+        assert spec.name == "RandomStringGenerator"
+
+    def test_rule_names_listing(self):
+        names = RuleEngine().rule_names()
+        assert names[0] == "id-key"
+        assert "comment-text" in names
+
+    def test_empty_rule_set(self):
+        engine = RuleEngine(rules=[])
+        assert engine.match("email", TypeFamily.TEXT) is None
+
+    def test_family_restriction(self):
+        rule = NameRule(
+            "text-only", r"foo", lambda: GeneratorSpec("TextGenerator"),
+            families=(TypeFamily.TEXT,),
+        )
+        assert rule.matches("foo", TypeFamily.TEXT)
+        assert not rule.matches("foo", TypeFamily.INTEGER)
+
+    def test_unrestricted_family(self):
+        rule = NameRule("any", r"foo", lambda: GeneratorSpec("TextGenerator"))
+        assert rule.matches("foo", None)
+        assert rule.matches("foo", TypeFamily.DATE)
+
+    def test_fresh_spec_per_match(self):
+        # Each match must build a new spec (params are mutated downstream).
+        engine = RuleEngine()
+        a = engine.match("email", TypeFamily.TEXT)
+        b = engine.match("email", TypeFamily.TEXT)
+        assert a is not b
+
+    def test_default_rules_returns_fresh_list(self):
+        rules = default_rules()
+        rules.clear()
+        assert default_rules()

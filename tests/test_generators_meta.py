@@ -1,0 +1,258 @@
+"""Tests for the meta generators (null, sequential, conditional, formula)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine import GenerationEngine
+from repro.exceptions import ModelError
+from repro.model.schema import Field, GeneratorSpec, Schema, Table
+from tests.conftest import field_values, single_field_engine
+
+
+def _static(value) -> GeneratorSpec:
+    return GeneratorSpec("StaticValueGenerator", {"value": value})
+
+
+class TestNullGenerator:
+    def test_all_null(self):
+        spec = GeneratorSpec("NullGenerator", {"probability": 1.0}, [_static("x")])
+        assert field_values(spec, rows=50, type_text="TEXT") == [None] * 50
+
+    def test_never_null(self):
+        spec = GeneratorSpec("NullGenerator", {"probability": 0.0}, [_static("x")])
+        assert field_values(spec, rows=50, type_text="TEXT") == ["x"] * 50
+
+    def test_fraction_approximate(self):
+        spec = GeneratorSpec(
+            "NullGenerator", {"probability": 0.3},
+            [GeneratorSpec("IntGenerator", {"min": 1, "max": 9})],
+        )
+        values = field_values(spec, rows=5000)
+        fraction = sum(1 for v in values if v is None) / len(values)
+        assert abs(fraction - 0.3) < 0.03
+
+    def test_string_probability_from_xml(self):
+        spec = GeneratorSpec("NullGenerator", {"probability": "0.5"}, [_static(1)])
+        engine = single_field_engine(spec)  # must bind without error
+        assert engine is not None
+
+    def test_invalid_probability(self):
+        spec = GeneratorSpec("NullGenerator", {"probability": "high"}, [_static(1)])
+        with pytest.raises(ModelError):
+            single_field_engine(spec)
+
+    def test_requires_exactly_one_child(self):
+        with pytest.raises(ModelError):
+            single_field_engine(GeneratorSpec("NullGenerator", {"probability": 0.1}))
+
+    def test_child_values_unaffected_by_wrapper_decision(self):
+        # The NULL draw happens before delegation, so the child sees a
+        # deterministic (but shifted) stream; the non-null values must be
+        # within the child's range.
+        spec = GeneratorSpec(
+            "NullGenerator", {"probability": 0.5},
+            [GeneratorSpec("IntGenerator", {"min": 10, "max": 20})],
+        )
+        values = [v for v in field_values(spec, rows=1000) if v is not None]
+        assert values and all(10 <= v <= 20 for v in values)
+
+
+class TestSequentialGenerator:
+    def test_concat_with_separator(self):
+        spec = GeneratorSpec(
+            "SequentialGenerator", {"separator": "-"},
+            [_static("a"), _static("b"), _static("c")],
+        )
+        assert field_values(spec, rows=3, type_text="TEXT") == ["a-b-c"] * 3
+
+    def test_template(self):
+        spec = GeneratorSpec(
+            "SequentialGenerator", {"template": "{0}/{1:03d}"},
+            [_static("x"), _static(7)],
+        )
+        assert field_values(spec, rows=2, type_text="TEXT") == ["x/007"] * 2
+
+    def test_none_children_render_empty(self):
+        spec = GeneratorSpec(
+            "SequentialGenerator", {"separator": ","}, [_static(None), _static("b")]
+        )
+        assert field_values(spec, rows=1, type_text="TEXT") == [",b"]
+
+    def test_requires_children(self):
+        with pytest.raises(ModelError):
+            single_field_engine(GeneratorSpec("SequentialGenerator"))
+
+    def test_children_share_field_stream_deterministically(self):
+        spec = GeneratorSpec(
+            "SequentialGenerator", {"separator": " "},
+            [GeneratorSpec("IntGenerator", {"min": 0, "max": 9}),
+             GeneratorSpec("IntGenerator", {"min": 0, "max": 9})],
+        )
+        first = field_values(spec, rows=20, type_text="TEXT")
+        second = field_values(spec, rows=20, type_text="TEXT")
+        assert first == second
+
+
+class TestProbabilityGenerator:
+    def test_uniform_choice(self):
+        spec = GeneratorSpec(
+            "ProbabilityGenerator", {}, [_static("a"), _static("b")]
+        )
+        values = field_values(spec, rows=2000, type_text="TEXT")
+        fraction = values.count("a") / len(values)
+        assert abs(fraction - 0.5) < 0.05
+
+    def test_weighted_choice(self):
+        spec = GeneratorSpec(
+            "ProbabilityGenerator", {"weights": [0.9, 0.1]},
+            [_static("common"), _static("rare")],
+        )
+        values = field_values(spec, rows=2000, type_text="TEXT")
+        assert values.count("common") / len(values) > 0.85
+
+    def test_weight_count_mismatch(self):
+        spec = GeneratorSpec(
+            "ProbabilityGenerator", {"weights": [1.0]},
+            [_static("a"), _static("b")],
+        )
+        with pytest.raises(ModelError):
+            single_field_engine(spec, type_text="TEXT")
+
+    def test_requires_children(self):
+        with pytest.raises(ModelError):
+            single_field_engine(GeneratorSpec("ProbabilityGenerator"))
+
+
+def _switch_schema() -> Schema:
+    schema = Schema("sw", seed=5)
+    schema.add_table(Table("t", "300", [
+        Field.of("kind", "TEXT", GeneratorSpec(
+            "DictListGenerator", {"values": ["gold", "silver"]}
+        )),
+        Field.of("bonus", "TEXT", GeneratorSpec(
+            "SwitchGenerator",
+            {"field": "kind", "cases": ["gold"]},
+            [_static("high"), _static("low")],
+        )),
+    ]))
+    return schema
+
+
+class TestSwitchGenerator:
+    def test_switches_on_sibling(self):
+        engine = GenerationEngine(_switch_schema())
+        for kind, bonus in engine.iter_rows("t"):
+            assert bonus == ("high" if kind == "gold" else "low")
+
+    def test_no_default_yields_none(self):
+        schema = Schema("sw2", seed=5)
+        schema.add_table(Table("t", "100", [
+            Field.of("kind", "TEXT", GeneratorSpec(
+                "DictListGenerator", {"values": ["a", "b"]}
+            )),
+            Field.of("flag", "TEXT", GeneratorSpec(
+                "SwitchGenerator", {"field": "kind", "cases": ["a"]},
+                [_static("yes")],
+            )),
+        ]))
+        engine = GenerationEngine(schema)
+        rows = list(engine.iter_rows("t"))
+        assert any(flag is None for _, flag in rows)
+        assert all((flag == "yes") == (kind == "a") for kind, flag in rows)
+
+    def test_missing_field_param(self):
+        spec = GeneratorSpec("SwitchGenerator", {"cases": ["x"]}, [_static(1)])
+        with pytest.raises(ModelError):
+            single_field_engine(spec)
+
+    def test_case_count_mismatch(self):
+        spec = GeneratorSpec(
+            "SwitchGenerator", {"field": "f", "cases": ["a", "b", "c"]},
+            [_static(1)],
+        )
+        with pytest.raises(ModelError):
+            single_field_engine(spec)
+
+
+class TestFormulaGenerator:
+    def test_sibling_arithmetic(self, engine):
+        for row in engine.iter_rows("orders", 0, 50):
+            quantity, total = row[2], row[3]
+            assert total == pytest.approx(round(quantity * 9.99, 2))
+
+    def test_sibling_cache_consistent_with_recompute(self, engine):
+        # Values read from the row cache must equal an out-of-band
+        # recomputation of the same cell.
+        for row_index in range(20):
+            row = engine.generate_row("orders", row_index)
+            recomputed = engine.compute_value("orders", "o_total", row_index)
+            assert row[3] == recomputed
+
+    def test_forward_reference_recomputes(self):
+        # A formula referencing a *later* field falls back to recompute.
+        schema = Schema("fwd", seed=1)
+        schema.add_table(Table("t", "30", [
+            Field.of("double_next", "DOUBLE", GeneratorSpec(
+                "FormulaGenerator", {"formula": "[base] * 2"}
+            )),
+            Field.of("base", "INTEGER", GeneratorSpec(
+                "IntGenerator", {"min": 1, "max": 100}
+            )),
+        ]))
+        engine = GenerationEngine(schema)
+        for doubled, base in engine.iter_rows("t"):
+            assert doubled == base * 2
+
+    def test_missing_formula(self):
+        with pytest.raises(ModelError):
+            single_field_engine(GeneratorSpec("FormulaGenerator"))
+
+    def test_unknown_sibling(self):
+        spec = GeneratorSpec("FormulaGenerator", {"formula": "[ghost] + 1"})
+        with pytest.raises(ModelError):
+            single_field_engine(spec)
+
+    def test_places(self):
+        schema = Schema("p", seed=1)
+        schema.add_table(Table("t", "50", [
+            Field.of("x", "DOUBLE", GeneratorSpec(
+                "DoubleGenerator", {"min": 0.0, "max": 1.0}
+            )),
+            Field.of("y", "DOUBLE", GeneratorSpec(
+                "FormulaGenerator", {"formula": "[x] * 3", "places": 1}
+            )),
+        ]))
+        engine = GenerationEngine(schema)
+        for _x, y in engine.iter_rows("t"):
+            assert round(y, 1) == y
+
+    def test_as_int(self):
+        schema = Schema("i", seed=1)
+        schema.add_table(Table("t", "20", [
+            Field.of("x", "INTEGER", GeneratorSpec(
+                "IntGenerator", {"min": 10, "max": 99}
+            )),
+            Field.of("y", "INTEGER", GeneratorSpec(
+                "FormulaGenerator", {"formula": "[x] / 10", "as_int": True}
+            )),
+        ]))
+        engine = GenerationEngine(schema)
+        for x, y in engine.iter_rows("t"):
+            assert y == int(x / 10)
+
+    def test_cyclic_dependency_detected(self):
+        schema = Schema("cyc", seed=1)
+        schema.add_table(Table("t", "5", [
+            Field.of("a", "DOUBLE", GeneratorSpec(
+                "FormulaGenerator", {"formula": "[b] + 1"}
+            )),
+            Field.of("b", "DOUBLE", GeneratorSpec(
+                "FormulaGenerator", {"formula": "[a] + 1"}
+            )),
+        ]))
+        engine = GenerationEngine(schema)
+        from repro.exceptions import GenerationError
+
+        with pytest.raises(GenerationError, match="depth"):
+            engine.generate_row("t", 0)

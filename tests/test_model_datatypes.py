@@ -1,0 +1,120 @@
+"""Tests for SQL type parsing and rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ModelError
+from repro.model.datatypes import (
+    DataType,
+    SqlType,
+    TypeFamily,
+    parse_type,
+    python_type_for,
+)
+
+
+class TestParseType:
+    def test_simple(self):
+        dtype = parse_type("BIGINT")
+        assert dtype.base is SqlType.BIGINT
+        assert dtype.length is None
+
+    def test_case_insensitive(self):
+        assert parse_type("varchar(44)").base is SqlType.VARCHAR
+
+    def test_length(self):
+        dtype = parse_type("VARCHAR(44)")
+        assert dtype.length == 44
+
+    def test_precision_and_scale(self):
+        dtype = parse_type("DECIMAL(15,2)")
+        assert dtype.length == 15
+        assert dtype.scale == 2
+
+    def test_whitespace_tolerant(self):
+        dtype = parse_type("  decimal ( 10 , 3 ) ")
+        assert dtype.length == 10
+        assert dtype.scale == 3
+
+    def test_two_word_types(self):
+        assert parse_type("DOUBLE PRECISION").base is SqlType.DOUBLE
+        assert parse_type("CHARACTER VARYING(10)").base is SqlType.VARCHAR
+
+    @pytest.mark.parametrize(
+        "alias,expected",
+        [
+            ("INT", SqlType.INTEGER),
+            ("INT8", SqlType.BIGINT),
+            ("TINYINT", SqlType.SMALLINT),
+            ("DATETIME", SqlType.TIMESTAMP),
+            ("BOOL", SqlType.BOOLEAN),
+            ("CLOB", SqlType.TEXT),
+            ("BYTEA", SqlType.BLOB),
+            ("SERIAL", SqlType.INTEGER),
+        ],
+    )
+    def test_aliases(self, alias, expected):
+        assert parse_type(alias).base is expected
+
+    def test_unknown_type_raises(self):
+        with pytest.raises(ModelError, match="unsupported SQL type"):
+            parse_type("GEOMETRY")
+
+    def test_garbage_raises(self):
+        with pytest.raises(ModelError):
+            parse_type("VARCHAR(")
+
+    def test_empty_raises(self):
+        with pytest.raises(ModelError):
+            parse_type("")
+
+
+class TestRender:
+    def test_round_trip(self):
+        for text in ("BIGINT", "VARCHAR(44)", "DECIMAL(15,2)", "DATE"):
+            assert parse_type(parse_type(text).render()) == parse_type(text)
+
+    def test_render_plain(self):
+        assert DataType(SqlType.INTEGER).render() == "INTEGER"
+
+    def test_render_with_length(self):
+        assert DataType(SqlType.CHAR, 10).render() == "CHAR(10)"
+
+    def test_render_with_scale(self):
+        assert DataType(SqlType.NUMERIC, 12, 4).render() == "NUMERIC(12,4)"
+
+
+class TestFamilies:
+    @pytest.mark.parametrize(
+        "text,family",
+        [
+            ("SMALLINT", TypeFamily.INTEGER),
+            ("REAL", TypeFamily.FLOAT),
+            ("NUMERIC(9,2)", TypeFamily.DECIMAL),
+            ("TEXT", TypeFamily.TEXT),
+            ("DATE", TypeFamily.DATE),
+            ("TIMESTAMP", TypeFamily.TIMESTAMP),
+            ("BOOLEAN", TypeFamily.BOOLEAN),
+            ("BLOB", TypeFamily.BINARY),
+        ],
+    )
+    def test_family(self, text, family):
+        assert parse_type(text).family is family
+
+
+class TestPythonTypeFor:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("BIGINT", int),
+            ("DOUBLE PRECISION", float),
+            ("DECIMAL(10,2)", float),
+            ("VARCHAR(5)", str),
+            ("DATE", str),
+            ("BOOLEAN", bool),
+            ("BLOB", bytes),
+        ],
+    )
+    def test_mapping(self, text, expected):
+        assert python_type_for(parse_type(text)) is expected

@@ -1,0 +1,150 @@
+"""Tests for the safe formula evaluator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import FormulaError
+from repro.model.formula import (
+    CompiledFormula,
+    compile_formula,
+    evaluate,
+    evaluate_int,
+    find_references,
+)
+
+
+class TestFindReferences:
+    def test_single(self):
+        assert find_references("6000000 * ${SF}") == ["SF"]
+
+    def test_multiple_ordered_unique(self):
+        assert find_references("${a} + ${b} * ${a}") == ["a", "b"]
+
+    def test_dotted_names(self):
+        assert find_references("${lineitem.size}") == ["lineitem.size"]
+
+    def test_none(self):
+        assert find_references("1 + 2") == []
+
+
+class TestEvaluate:
+    def test_plain_arithmetic(self):
+        assert evaluate("1 + 2 * 3") == 7
+
+    def test_property_reference(self):
+        assert evaluate("6000000 * ${SF}", {"SF": 2}) == 12_000_000
+
+    def test_dotted_property(self):
+        assert evaluate("${a.b} + 1", {"a.b": 4}) == 5
+
+    def test_division(self):
+        assert evaluate("7 / 2") == 3.5
+
+    def test_floor_division_and_modulo(self):
+        assert evaluate("7 // 2") == 3
+        assert evaluate("7 % 3") == 1
+
+    def test_power_and_unary(self):
+        assert evaluate("-2 ** 2") == -4
+        assert evaluate("+5") == 5
+
+    def test_functions(self):
+        assert evaluate("max(1, 5, 3)") == 5
+        assert evaluate("min(2, ${x})", {"x": 1}) == 1
+        assert evaluate("ceil(1.2)") == 2
+        assert evaluate("floor(1.8)") == 1
+        assert evaluate("abs(-3)") == 3
+        assert evaluate("sqrt(16)") == 4
+        assert evaluate("round(2.5)") == 2  # banker's rounding, like Python
+
+    def test_bare_identifier_environment(self):
+        assert evaluate("row // 4 + 1", {"row": 11}) == 3
+
+    def test_undefined_property(self):
+        with pytest.raises(FormulaError, match="undefined property"):
+            evaluate("${missing}")
+
+    def test_unknown_bare_name(self):
+        with pytest.raises(FormulaError):
+            evaluate("unknown_name + 1")
+
+    def test_rejects_attribute_access(self):
+        with pytest.raises(FormulaError):
+            evaluate("(1).__class__")
+
+    def test_rejects_arbitrary_calls(self):
+        with pytest.raises(FormulaError):
+            evaluate("__import__('os')")
+
+    def test_rejects_string_constants(self):
+        with pytest.raises(FormulaError):
+            evaluate("'abc'")
+
+    def test_rejects_comparison(self):
+        with pytest.raises(FormulaError):
+            evaluate("1 < 2")
+
+    def test_rejects_boolean_constant(self):
+        with pytest.raises(FormulaError):
+            evaluate("True")
+
+    def test_rejects_keyword_arguments(self):
+        with pytest.raises(FormulaError):
+            evaluate("round(2.5, ndigits=1)")
+
+    def test_syntax_error(self):
+        with pytest.raises(FormulaError, match="cannot parse"):
+            evaluate("1 +")
+
+    def test_division_by_zero(self):
+        with pytest.raises(FormulaError):
+            evaluate("1 / 0")
+
+    def test_rejects_lambdas(self):
+        with pytest.raises(FormulaError):
+            evaluate("(lambda: 1)()")
+
+
+class TestEvaluateInt:
+    def test_rounds(self):
+        assert evaluate_int("2.6") == 3
+        assert evaluate_int("2.4") == 2
+
+    def test_scale_expression(self):
+        assert evaluate_int("0.1 * ${SF} * 100", {"SF": 1}) == 10
+
+
+class TestCompiledFormula:
+    def test_repeated_evaluation(self):
+        formula = CompiledFormula("${a} * 2")
+        assert formula({"a": 3}) == 6
+        assert formula({"a": 5}) == 10
+
+    def test_references_exposed(self):
+        assert CompiledFormula("${x} + ${y}").references == ["x", "y"]
+
+    def test_compile_cache_returns_same_object(self):
+        a = compile_formula("1 + 2 + ${unique_cache_probe}")
+        b = compile_formula("1 + 2 + ${unique_cache_probe}")
+        assert a is b
+
+    def test_missing_reference_at_call_time(self):
+        formula = CompiledFormula("${q} + 1")
+        with pytest.raises(FormulaError, match="undefined property"):
+            formula({})
+
+    def test_validation_happens_at_compile_time(self):
+        with pytest.raises(FormulaError):
+            CompiledFormula("[1, 2]")
+
+    def test_matches_python_semantics(self):
+        cases = [
+            ("2 + 3 * 4", 14),
+            ("(2 + 3) * 4", 20),
+            ("10 % 4", 2),
+            ("2 ** 10", 1024),
+            ("17 // 5", 3),
+        ]
+        for expression, expected in cases:
+            assert evaluate(expression) == expected

@@ -1,0 +1,137 @@
+"""Tests for the model property system."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import PropertyError
+from repro.model.properties import PropertySet
+
+
+class TestDefineAndGet:
+    def test_numeric_literal(self):
+        props = PropertySet()
+        props.define("SF", "1")
+        assert props.get_float("SF") == 1.0
+
+    def test_formula_over_other_property(self):
+        props = PropertySet()
+        props.define("SF", "2")
+        props.define("lineitem_size", "6000000 * ${SF}")
+        assert props.get_int("lineitem_size") == 12_000_000
+
+    def test_chained_references(self):
+        props = PropertySet()
+        props.define("a", "2")
+        props.define("b", "${a} * 3")
+        props.define("c", "${b} + 1")
+        assert props.get_float("c") == 7.0
+
+    def test_string_property_verbatim(self):
+        props = PropertySet()
+        props.define("name", "hello world", ptype="string")
+        assert props.get_str("name") == "hello world"
+
+    def test_undefined_raises(self):
+        with pytest.raises(PropertyError, match="undefined"):
+            PropertySet().get("nope")
+
+    def test_default_returned_for_missing(self):
+        assert PropertySet().get("nope", 5) == 5
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(PropertyError):
+            PropertySet().define("", "1")
+
+    def test_redefine_replaces(self):
+        props = PropertySet()
+        props.define("x", "1")
+        props.define("x", "2")
+        assert props.get_float("x") == 2.0
+
+
+class TestOverrides:
+    def test_override_shadows_definition(self):
+        props = PropertySet()
+        props.define("SF", "1")
+        props.override("SF", 10)
+        assert props.get_float("SF") == 10.0
+
+    def test_override_rescales_derived(self):
+        # Paper §3: sizes derive from SF "in a centralized point".
+        props = PropertySet()
+        props.define("SF", "1")
+        props.define("size", "100 * ${SF}")
+        props.override("SF", 3)
+        assert props.get_int("size") == 300
+
+    def test_string_override_may_be_formula(self):
+        props = PropertySet()
+        props.define("SF", "1")
+        props.override("size", "50 * ${SF}")
+        assert props.get_float("size") == 50.0
+
+    def test_adhoc_override_without_definition(self):
+        props = PropertySet()
+        props.override("workers", 8)
+        assert props.get_int("workers") == 8
+
+    def test_contains(self):
+        props = PropertySet()
+        props.define("a", "1")
+        props.override("b", 2)
+        assert "a" in props and "b" in props and "c" not in props
+
+
+class TestErrors:
+    def test_cycle_detected(self):
+        props = PropertySet()
+        props.define("a", "${b}")
+        props.define("b", "${a}")
+        with pytest.raises(PropertyError, match="cyclic"):
+            props.get("a")
+
+    def test_self_cycle(self):
+        props = PropertySet()
+        props.define("x", "${x} + 1")
+        with pytest.raises(PropertyError, match="cyclic"):
+            props.get("x")
+
+    def test_non_numeric_in_formula(self):
+        props = PropertySet()
+        props.define("s", "hello", ptype="string")
+        props.define("n", "${s} * 2")
+        with pytest.raises(PropertyError):
+            props.get("n")
+
+    def test_get_float_on_string(self):
+        props = PropertySet()
+        props.define("s", "hello", ptype="string")
+        with pytest.raises(PropertyError, match="not numeric"):
+            props.get_float("s")
+
+
+class TestExpressions:
+    def test_evaluate_expression(self):
+        props = PropertySet()
+        props.define("SF", "0.5")
+        assert props.evaluate_expression("200 * ${SF}") == 100.0
+
+    def test_evaluate_expression_int_rounds(self):
+        props = PropertySet()
+        props.define("SF", "0.001")
+        assert props.evaluate_expression_int("6000000 * ${SF}") == 6000
+
+    def test_names_listing(self):
+        props = PropertySet()
+        props.define("a", "1")
+        props.override("b", 2)
+        assert props.names() == ["a", "b"]
+
+    def test_copy_is_independent(self):
+        props = PropertySet()
+        props.define("a", "1")
+        clone = props.copy()
+        clone.override("a", 9)
+        assert props.get_float("a") == 1.0
+        assert clone.get_float("a") == 9.0

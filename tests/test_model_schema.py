@@ -1,0 +1,191 @@
+"""Tests for the schema model and validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ModelError
+from repro.model.schema import Field, GeneratorSpec, Schema, Table
+from repro.model.validation import (
+    ensure_valid,
+    reference_graph,
+    topological_load_order,
+    validate_schema,
+)
+from tests.conftest import demo_schema
+
+
+class TestGeneratorSpec:
+    def test_child_accessor(self):
+        child = GeneratorSpec("StaticValueGenerator")
+        parent = GeneratorSpec("NullGenerator", {"probability": 0.5}, [child])
+        assert parent.child() is child
+
+    def test_child_requires_exactly_one(self):
+        with pytest.raises(ModelError):
+            GeneratorSpec("NullGenerator").child()
+        two = GeneratorSpec("NullGenerator", children=[
+            GeneratorSpec("A"), GeneratorSpec("B")
+        ])
+        with pytest.raises(ModelError):
+            two.child()
+
+
+class TestTable:
+    def test_field_lookup(self):
+        table = Table("t", "10", [
+            Field.of("a", "BIGINT", GeneratorSpec("IdGenerator")),
+            Field.of("b", "TEXT", GeneratorSpec("RandomStringGenerator")),
+        ])
+        assert table.field_index("b") == 1
+        assert table.field_by_name("a").name == "a"
+
+    def test_missing_field_raises(self):
+        table = Table("t", "10", [])
+        with pytest.raises(ModelError, match="no field"):
+            table.field_index("ghost")
+
+    def test_primary_key(self):
+        table = Table("t", "10", [
+            Field.of("a", "BIGINT", GeneratorSpec("IdGenerator"), primary=True),
+            Field.of("b", "TEXT", GeneratorSpec("RandomStringGenerator")),
+        ])
+        assert [f.name for f in table.primary_key()] == ["a"]
+
+
+class TestSchema:
+    def test_add_duplicate_table_rejected(self, schema):
+        with pytest.raises(ModelError, match="duplicate"):
+            schema.add_table(Table("customer", "1", [
+                Field.of("x", "BIGINT", GeneratorSpec("IdGenerator"))
+            ]))
+
+    def test_table_lookup(self, schema):
+        assert schema.table_index("orders") == 1
+        with pytest.raises(ModelError):
+            schema.table_by_name("ghost")
+
+    def test_table_size_resolves_formula(self, schema):
+        assert schema.table_size("customer") == 60
+
+    def test_size_rescales_with_sf(self, schema):
+        schema.properties.override("SF", 2)
+        assert schema.table_size("customer") == 120
+
+    def test_negative_size_rejected(self):
+        schema = Schema("s")
+        schema.add_table(Table("t", "-5", [
+            Field.of("x", "BIGINT", GeneratorSpec("IdGenerator"))
+        ]))
+        with pytest.raises(ModelError, match=">= 0"):
+            schema.table_size("t")
+
+    def test_totals(self, schema):
+        assert schema.total_rows() == 240
+        assert schema.sizes() == {"customer": 60, "orders": 180}
+
+
+class TestValidation:
+    def test_valid_schema_has_no_problems(self, schema):
+        assert validate_schema(schema) == []
+        ensure_valid(schema)  # must not raise
+
+    def test_empty_schema(self):
+        problems = validate_schema(Schema("empty"))
+        assert any("no tables" in p for p in problems)
+
+    def test_table_without_fields(self):
+        schema = Schema("s")
+        schema.tables.append(Table("t", "10"))
+        assert any("no fields" in p for p in validate_schema(schema))
+
+    def test_duplicate_field_names(self):
+        schema = Schema("s")
+        schema.tables.append(Table("t", "10", [
+            Field.of("x", "BIGINT", GeneratorSpec("IdGenerator")),
+            Field.of("x", "BIGINT", GeneratorSpec("IdGenerator")),
+        ]))
+        assert any("duplicate field" in p for p in validate_schema(schema))
+
+    def test_bad_size_expression(self):
+        schema = Schema("s")
+        schema.tables.append(Table("t", "${missing}", [
+            Field.of("x", "BIGINT", GeneratorSpec("IdGenerator")),
+        ]))
+        assert any("bad size expression" in p for p in validate_schema(schema))
+
+    def test_unresolvable_reference(self):
+        schema = Schema("s")
+        schema.tables.append(Table("t", "10", [
+            Field.of("x", "BIGINT", GeneratorSpec(
+                "DefaultReferenceGenerator", {"table": "ghost", "field": "id"}
+            )),
+        ]))
+        assert any("unresolvable reference" in p for p in validate_schema(schema))
+
+    def test_reference_missing_params(self):
+        schema = Schema("s")
+        schema.tables.append(Table("t", "10", [
+            Field.of("x", "BIGINT", GeneratorSpec("DefaultReferenceGenerator")),
+        ]))
+        assert any("missing table/field" in p for p in validate_schema(schema))
+
+    def test_null_probability_out_of_range(self):
+        schema = Schema("s")
+        schema.tables.append(Table("t", "10", [
+            Field.of("x", "BIGINT", GeneratorSpec(
+                "NullGenerator", {"probability": 1.5},
+                [GeneratorSpec("IdGenerator")],
+            )),
+        ]))
+        assert any("outside [0, 1]" in p for p in validate_schema(schema))
+
+    def test_nested_generator_validated(self):
+        schema = Schema("s")
+        schema.tables.append(Table("t", "10", [
+            Field.of("x", "BIGINT", GeneratorSpec(
+                "NullGenerator", {"probability": 0.1},
+                [GeneratorSpec(
+                    "DefaultReferenceGenerator", {"table": "ghost", "field": "id"}
+                )],
+            )),
+        ]))
+        assert any("unresolvable" in p for p in validate_schema(schema))
+
+    def test_ensure_valid_raises_with_all_problems(self):
+        schema = Schema("")
+        with pytest.raises(ModelError, match="invalid model"):
+            ensure_valid(schema)
+
+
+class TestReferenceGraph:
+    def test_demo_graph(self, schema):
+        graph = reference_graph(schema)
+        assert graph == {"customer": set(), "orders": {"customer"}}
+
+    def test_load_order_referenced_first(self, schema):
+        order = topological_load_order(schema)
+        assert order.index("customer") < order.index("orders")
+
+    def test_load_order_tpch(self):
+        from repro.suites.tpch import tpch_schema
+
+        order = topological_load_order(tpch_schema(0.001))
+        assert order.index("nation") < order.index("supplier")
+        assert order.index("customer") < order.index("orders")
+        assert order.index("part") < order.index("lineitem")
+        assert order.index("supplier") < order.index("lineitem")
+
+    def test_self_reference_does_not_hang(self):
+        schema = Schema("s")
+        schema.tables.append(Table("emp", "10", [
+            Field.of("id", "BIGINT", GeneratorSpec("IdGenerator"), primary=True),
+            Field.of("manager", "BIGINT", GeneratorSpec(
+                "DefaultReferenceGenerator", {"table": "emp", "field": "id"}
+            )),
+        ]))
+        assert topological_load_order(schema) == ["emp"]
+
+
+def test_demo_schema_fixture_is_valid():
+    ensure_valid(demo_schema())

@@ -1,0 +1,159 @@
+"""Tests for repeatable distribution sampling."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.prng.distributions import (
+    Categorical,
+    Zipf,
+    exponential,
+    normal,
+    pareto,
+    uniform,
+    uniform_int,
+)
+from repro.prng.xorshift import XorShift64Star
+
+
+class TestUniform:
+    def test_within_range(self, rng):
+        for _ in range(1000):
+            assert 2.0 <= uniform(rng, 2.0, 5.0) < 5.0
+
+    def test_rejects_empty_range(self, rng):
+        with pytest.raises(ValueError):
+            uniform(rng, 5.0, 2.0)
+
+    def test_mean(self, rng):
+        n = 20_000
+        mean = sum(uniform(rng, 0.0, 10.0) for _ in range(n)) / n
+        assert abs(mean - 5.0) < 0.1
+
+
+class TestUniformInt:
+    def test_inclusive_bounds(self, rng):
+        seen = {uniform_int(rng, 1, 3) for _ in range(300)}
+        assert seen == {1, 2, 3}
+
+    def test_single_point_range(self, rng):
+        assert uniform_int(rng, 7, 7) == 7
+
+    def test_rejects_empty(self, rng):
+        with pytest.raises(ValueError):
+            uniform_int(rng, 3, 2)
+
+
+class TestNormal:
+    def test_moments(self, rng):
+        n = 30_000
+        samples = [normal(rng, 10.0, 2.0) for _ in range(n)]
+        mean = sum(samples) / n
+        var = sum((s - mean) ** 2 for s in samples) / n
+        assert abs(mean - 10.0) < 0.1
+        assert abs(math.sqrt(var) - 2.0) < 0.1
+
+    def test_rejects_negative_stddev(self, rng):
+        with pytest.raises(ValueError):
+            normal(rng, 0.0, -1.0)
+
+    def test_zero_stddev_is_constant(self, rng):
+        assert normal(rng, 3.0, 0.0) == pytest.approx(3.0)
+
+
+class TestExponential:
+    def test_positive(self, rng):
+        for _ in range(1000):
+            assert exponential(rng, 2.0) >= 0.0
+
+    def test_mean_is_inverse_rate(self, rng):
+        n = 30_000
+        mean = sum(exponential(rng, 4.0) for _ in range(n)) / n
+        assert abs(mean - 0.25) < 0.01
+
+    def test_rejects_nonpositive_rate(self, rng):
+        with pytest.raises(ValueError):
+            exponential(rng, 0.0)
+
+
+class TestZipf:
+    def test_rank_one_most_frequent(self, rng):
+        zipf = Zipf(100, 1.0)
+        counts = [0] * 101
+        for _ in range(20_000):
+            counts[zipf.sample(rng)] += 1
+        assert counts[1] == max(counts)
+        assert counts[1] > counts[10] > 0
+
+    def test_in_range(self, rng):
+        zipf = Zipf(10, 1.5)
+        assert all(1 <= zipf.sample(rng) <= 10 for _ in range(1000))
+
+    def test_s_zero_is_uniform(self, rng):
+        zipf = Zipf(4, 0.0)
+        counts = [0] * 5
+        n = 40_000
+        for _ in range(n):
+            counts[zipf.sample(rng)] += 1
+        for k in range(1, 5):
+            assert abs(counts[k] / n - 0.25) < 0.02
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            Zipf(0)
+        with pytest.raises(ValueError):
+            Zipf(10, -1.0)
+
+
+class TestPareto:
+    def test_at_least_scale(self, rng):
+        assert all(pareto(rng, 2.0, 3.0) >= 3.0 for _ in range(1000))
+
+    def test_rejects_bad_parameters(self, rng):
+        with pytest.raises(ValueError):
+            pareto(rng, 0.0)
+
+
+class TestCategorical:
+    def test_respects_weights(self, rng):
+        cat = Categorical(["a", "b"], [0.9, 0.1])
+        n = 20_000
+        hits = sum(1 for _ in range(n) if cat.sample(rng) == "a")
+        assert abs(hits / n - 0.9) < 0.02
+
+    def test_uniform_default(self, rng):
+        cat = Categorical(["x", "y", "z", "w"])
+        seen = {cat.sample(rng) for _ in range(500)}
+        assert seen == {"x", "y", "z", "w"}
+
+    def test_zero_weight_never_sampled(self, rng):
+        cat = Categorical(["keep", "drop"], [1.0, 0.0])
+        assert all(cat.sample(rng) == "keep" for _ in range(2000))
+
+    def test_sample_index(self, rng):
+        cat = Categorical(["only"])
+        assert cat.sample_index(rng) == 0
+
+    def test_rejects_empty_values(self):
+        with pytest.raises(ValueError):
+            Categorical([])
+
+    def test_rejects_mismatched_weights(self):
+        with pytest.raises(ValueError):
+            Categorical(["a"], [0.5, 0.5])
+
+    def test_rejects_negative_weight(self):
+        with pytest.raises(ValueError):
+            Categorical(["a", "b"], [1.0, -0.5])
+
+    def test_rejects_all_zero_weights(self):
+        with pytest.raises(ValueError):
+            Categorical(["a", "b"], [0.0, 0.0])
+
+    def test_deterministic_for_same_stream(self):
+        cat = Categorical(list("abcdef"))
+        a = XorShift64Star(5)
+        b = XorShift64Star(5)
+        assert [cat.sample(a) for _ in range(30)] == [cat.sample(b) for _ in range(30)]

@@ -1,0 +1,101 @@
+"""Tests for the hierarchical seeding strategy (paper Figure 1)."""
+
+from __future__ import annotations
+
+from repro.prng.seeding import ColumnSeeder, SeedHierarchy
+from repro.prng.xorshift import combine_name64, hash_string64, mix64
+
+
+class TestHashString64:
+    def test_deterministic(self):
+        assert hash_string64("lineitem") == hash_string64("lineitem")
+
+    def test_distinct_names(self):
+        names = [f"col_{i}" for i in range(500)]
+        assert len({hash_string64(n) for n in names}) == 500
+
+    def test_case_sensitive(self):
+        assert hash_string64("Orders") != hash_string64("orders")
+
+    def test_unicode(self):
+        assert hash_string64("café") != hash_string64("cafe")
+
+    def test_combine_name(self):
+        assert combine_name64(1, "a") != combine_name64(1, "b")
+        assert combine_name64(1, "a") != combine_name64(2, "a")
+
+
+class TestSeedHierarchy:
+    def test_table_seeds_distinct(self):
+        h = SeedHierarchy(1)
+        seeds = {h.table_seed(f"table_{i}") for i in range(100)}
+        assert len(seeds) == 100
+
+    def test_column_seeds_distinct_within_table(self):
+        h = SeedHierarchy(1)
+        seeds = {h.column_seed("t", f"c{i}") for i in range(64)}
+        assert len(seeds) == 64
+
+    def test_column_seeds_distinct_across_tables(self):
+        h = SeedHierarchy(1)
+        assert h.column_seed("a", "x") != h.column_seed("b", "x")
+
+    def test_update_seed_zero_differs_from_one(self):
+        h = SeedHierarchy(1)
+        assert h.update_seed("t", "c", 0) != h.update_seed("t", "c", 1)
+
+    def test_row_seeds_distinct(self):
+        h = SeedHierarchy(1)
+        seeds = {h.row_seed("t", "c", r) for r in range(10_000)}
+        assert len(seeds) == 10_000
+
+    def test_deterministic_across_instances(self):
+        a = SeedHierarchy(99)
+        b = SeedHierarchy(99)
+        assert a.row_seed("t", "c", 4, 1) == b.row_seed("t", "c", 4, 1)
+
+    def test_project_seed_changes_everything(self):
+        # Paper §3: "changing the seed will modify every value".
+        a = SeedHierarchy(1)
+        b = SeedHierarchy(2)
+        different = sum(
+            a.row_seed("t", "c", r) != b.row_seed("t", "c", r) for r in range(100)
+        )
+        assert different == 100
+
+    def test_name_identity_not_position(self):
+        # The property the engine relies on: a column's seeds depend only
+        # on (project seed, table name, column name), never on position.
+        h = SeedHierarchy(5)
+        assert h.column_seed("t", "price") == SeedHierarchy(5).column_seed("t", "price")
+
+    def test_caches_are_populated(self):
+        h = SeedHierarchy(5)
+        h.row_seed("t", "c", 3)
+        assert "t" in h._table_cache
+        assert ("t", "c") in h._column_cache
+        assert ("t", "c", 0) in h._update_cache
+
+    def test_cached_value_stable(self):
+        h = SeedHierarchy(5)
+        first = h.table_seed("t")
+        assert h.table_seed("t") == first
+
+
+class TestColumnSeeder:
+    def test_matches_hierarchy(self):
+        h = SeedHierarchy(42)
+        seeder = ColumnSeeder(h, "orders", "o_total", 0)
+        assert seeder.seed_for_row(10) == h.row_seed("orders", "o_total", 10, 0)
+
+    def test_row_hash_path_equals_direct_path(self):
+        h = SeedHierarchy(42)
+        seeder = ColumnSeeder(h, "t", "c")
+        for row in (0, 1, 17, 99_999):
+            assert seeder.seed_from_row_hash(mix64(row)) == seeder.seed_for_row(row)
+
+    def test_update_changes_seed(self):
+        h = SeedHierarchy(42)
+        base = ColumnSeeder(h, "t", "c", update=0)
+        epoch = ColumnSeeder(h, "t", "c", update=3)
+        assert base.seed_for_row(5) != epoch.seed_for_row(5)

@@ -1,0 +1,169 @@
+"""Unit tests for the xorshift PRNGs and hash primitives."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.prng.xorshift import (
+    MASK64,
+    XorShift64Star,
+    XorShift128Plus,
+    combine64,
+    mix64,
+    splitmix64,
+)
+
+
+class TestSplitMix64:
+    def test_deterministic(self):
+        assert splitmix64(42) == splitmix64(42)
+
+    def test_state_advances(self):
+        state, _ = splitmix64(42)
+        assert state != 42
+
+    def test_outputs_in_64_bits(self):
+        state = 0
+        for _ in range(100):
+            state, out = splitmix64(state)
+            assert 0 <= out <= MASK64
+
+
+class TestMix64:
+    def test_deterministic(self):
+        assert mix64(7) == mix64(7)
+
+    def test_distinct_for_small_inputs(self):
+        outputs = {mix64(i) for i in range(1000)}
+        assert len(outputs) == 1000
+
+    def test_avalanche_on_single_bit_flip(self):
+        # Flipping one input bit should flip roughly half the output bits.
+        a = mix64(0x1234)
+        b = mix64(0x1235)
+        flipped = bin(a ^ b).count("1")
+        assert 16 <= flipped <= 48
+
+    def test_masks_to_64_bits(self):
+        assert 0 <= mix64(2**70 + 3) <= MASK64
+
+
+class TestCombine64:
+    def test_differs_by_index(self):
+        seeds = {combine64(99, i) for i in range(256)}
+        assert len(seeds) == 256
+
+    def test_differs_by_seed(self):
+        assert combine64(1, 5) != combine64(2, 5)
+
+    def test_order_matters(self):
+        assert combine64(1, 5) != combine64(5, 1)
+
+
+class TestXorShift64Star:
+    def test_repeatable_stream(self):
+        a = XorShift64Star(123)
+        b = XorShift64Star(123)
+        assert [a.next_u64() for _ in range(50)] == [b.next_u64() for _ in range(50)]
+
+    def test_different_seeds_differ(self):
+        a = XorShift64Star(1)
+        b = XorShift64Star(2)
+        assert [a.next_u64() for _ in range(10)] != [b.next_u64() for _ in range(10)]
+
+    def test_reseed_restarts_stream(self):
+        rng = XorShift64Star(5)
+        first = [rng.next_u64() for _ in range(5)]
+        rng.reseed(5)
+        assert [rng.next_u64() for _ in range(5)] == first
+
+    def test_reseed_mixed_deterministic(self):
+        a = XorShift64Star()
+        b = XorShift64Star()
+        a.reseed_mixed(mix64(77))
+        b.reseed_mixed(mix64(77))
+        assert a.next_u64() == b.next_u64()
+
+    def test_zero_seed_is_valid(self):
+        rng = XorShift64Star(0)
+        assert rng.next_u64() != 0
+
+    def test_next_long_in_bound(self):
+        rng = XorShift64Star(9)
+        for _ in range(1000):
+            assert 0 <= rng.next_long(17) < 17
+
+    def test_next_long_rejects_nonpositive(self):
+        rng = XorShift64Star(9)
+        with pytest.raises(ValueError):
+            rng.next_long(0)
+
+    def test_next_range_inclusive(self):
+        rng = XorShift64Star(9)
+        values = {rng.next_range(3, 5) for _ in range(200)}
+        assert values == {3, 4, 5}
+
+    def test_next_range_rejects_empty(self):
+        rng = XorShift64Star(9)
+        with pytest.raises(ValueError):
+            rng.next_range(5, 4)
+
+    def test_next_double_unit_interval(self):
+        rng = XorShift64Star(9)
+        for _ in range(1000):
+            value = rng.next_double()
+            assert 0.0 <= value < 1.0
+
+    def test_next_double_mean_near_half(self):
+        rng = XorShift64Star(31)
+        n = 20_000
+        mean = sum(rng.next_double() for _ in range(n)) / n
+        assert abs(mean - 0.5) < 0.01
+
+    def test_uniformity_chi_squared(self):
+        # 16 buckets over 16k draws: chi-squared should be modest.
+        rng = XorShift64Star(123)
+        buckets = [0] * 16
+        n = 16_000
+        for _ in range(n):
+            buckets[rng.next_long(16)] += 1
+        expected = n / 16
+        chi2 = sum((b - expected) ** 2 / expected for b in buckets)
+        # 15 degrees of freedom; 99.9th percentile is ~37.7.
+        assert chi2 < 40
+
+    def test_fork_independent(self):
+        rng = XorShift64Star(77)
+        fork_a = rng.fork(0)
+        fork_b = rng.fork(1)
+        assert [fork_a.next_u64() for _ in range(5)] != [
+            fork_b.next_u64() for _ in range(5)
+        ]
+
+
+class TestXorShift128Plus:
+    def test_repeatable_stream(self):
+        a = XorShift128Plus(123)
+        b = XorShift128Plus(123)
+        assert [a.next_u64() for _ in range(50)] == [b.next_u64() for _ in range(50)]
+
+    def test_reseed(self):
+        rng = XorShift128Plus(4)
+        first = rng.next_u64()
+        rng.reseed(4)
+        assert rng.next_u64() == first
+
+    def test_bounds(self):
+        rng = XorShift128Plus(8)
+        for _ in range(500):
+            assert 0 <= rng.next_long(100) < 100
+            assert 0.0 <= rng.next_double() < 1.0
+
+    def test_next_long_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            XorShift128Plus(1).next_long(-3)
+
+    def test_no_short_cycle(self):
+        rng = XorShift128Plus(15)
+        seen = [rng.next_u64() for _ in range(10_000)]
+        assert len(set(seen)) == len(seen)

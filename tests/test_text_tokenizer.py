@@ -1,0 +1,65 @@
+"""Tests for text tokenization and column classification."""
+
+from __future__ import annotations
+
+from repro.text.tokenizer import classify_values, is_multi_word, sentences, words
+
+
+class TestWords:
+    def test_simple_split(self):
+        assert words("the quick fox") == ["the", "quick", "fox"]
+
+    def test_punctuation_kept_attached(self):
+        assert words("wake up, sleep.") == ["wake", "up,", "sleep."]
+
+    def test_empty(self):
+        assert words("") == []
+        assert words("   ") == []
+
+    def test_multiple_spaces(self):
+        assert words("a   b\tc\nd") == ["a", "b", "c", "d"]
+
+
+class TestSentences:
+    def test_split_on_terminators(self):
+        text = "First one. Second one! Third one? Tail"
+        assert sentences(text) == ["First one", "Second one", "Third one", "Tail"]
+
+    def test_empty(self):
+        assert sentences("") == []
+
+    def test_single_sentence(self):
+        assert sentences("just one sentence") == ["just one sentence"]
+
+
+class TestIsMultiWord:
+    def test_single(self):
+        assert not is_multi_word("AUTOMOBILE")
+
+    def test_multi(self):
+        assert is_multi_word("UNITED STATES")
+
+    def test_empty(self):
+        assert not is_multi_word("")
+
+
+class TestClassifyValues:
+    def test_categorical_column(self):
+        assert classify_values(["RED", "GREEN", "BLUE"] * 20) == "dictionary"
+
+    def test_free_text_column(self):
+        texts = ["the quick brown fox jumps", "over the lazy dog today"] * 20
+        assert classify_values(texts) == "text"
+
+    def test_mostly_single_with_rare_multi(self):
+        # Country-style columns (a few multi-word entries) stay dictionaries.
+        values = ["GERMANY"] * 85 + ["UNITED STATES"] * 15
+        assert classify_values(values) == "dictionary"
+
+    def test_threshold_is_configurable(self):
+        values = ["GERMANY"] * 85 + ["UNITED STATES"] * 15
+        assert classify_values(values, multi_word_threshold=0.1) == "text"
+
+    def test_empty_sample_defaults_to_dictionary(self):
+        assert classify_values([]) == "dictionary"
+        assert classify_values(["", ""]) == "dictionary"
