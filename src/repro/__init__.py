@@ -40,12 +40,14 @@ from repro.exceptions import (
 from repro.generators import ArtifactStore
 from repro.model import Field, GeneratorSpec, PropertySet, Schema, Table
 from repro.output.config import OutputConfig
+from repro import obs
 from repro.scheduler import (
     ClusterReport,
     MetaScheduler,
     ProgressMonitor,
     RunReport,
     Scheduler,
+    TableReport,
     generate,
 )
 
@@ -76,6 +78,8 @@ __all__ = [
     "ProgressMonitor",
     "RunReport",
     "Scheduler",
+    "TableReport",
     "generate",
+    "obs",
     "__version__",
 ]

@@ -12,9 +12,14 @@ the library exposes the same workflows as CLI verbs:
 * ``translate`` — print the target-database DDL for a model.
 * ``verify``    — compare source vs. synthesized databases with SQL.
 * ``update``    — print an update-epoch change batch summary.
+* ``stats``     — summarize a trace log or sample per-generator latency.
 
 Built-in suite models (``--suite tpch|ssb|bigbench``) correspond to the
 demo's "default projects" (Figure 10).
+
+``extract`` and ``generate`` accept ``--trace FILE`` (JSONL span log)
+and ``--metrics FILE`` (Prometheus text dump); ``--summary`` prints the
+human-readable telemetry digest after the run.
 """
 
 from __future__ import annotations
@@ -22,7 +27,7 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro import __version__
+from repro import __version__, obs
 from repro.config import apply_overrides, schema_xml
 from repro.core import DBSynthProject, SampleConfig
 from repro.core.model_builder import BuildOptions
@@ -68,6 +73,43 @@ def _load_engine(args: argparse.Namespace) -> GenerationEngine:
     return GenerationEngine(schema, artifacts)
 
 
+def _add_telemetry_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace", metavar="FILE", help="write a JSONL span log of the run"
+    )
+    parser.add_argument(
+        "--metrics", metavar="FILE", help="write a Prometheus-style metrics dump"
+    )
+    parser.add_argument(
+        "--summary", action="store_true", help="print a telemetry summary after the run"
+    )
+
+
+def _telemetry_begin(args: argparse.Namespace):
+    """Enable tracing/metrics per the CLI flags; returns (tracer, registry)."""
+    wants_trace = bool(args.trace or args.summary)
+    wants_metrics = bool(args.metrics or args.summary)
+    tracer = obs.enable_tracing() if wants_trace else None
+    registry = obs.enable_metrics() if wants_metrics else None
+    return tracer, registry
+
+
+def _telemetry_end(args: argparse.Namespace, tracer, registry) -> None:
+    """Export telemetry per the CLI flags, then reset the global state."""
+    try:
+        if tracer is not None and args.trace:
+            spans = obs.write_trace_jsonl(tracer, args.trace)
+            print(f"trace: {spans} spans written to {args.trace}")
+        if registry is not None and args.metrics:
+            obs.write_metrics_text(registry, args.metrics)
+            print(f"metrics written to {args.metrics}")
+        if args.summary:
+            for line in obs.summary_lines(registry, tracer):
+                print(line)
+    finally:
+        obs.reset()
+
+
 def _add_model_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--model", help="saved project directory (from extract)")
     parser.add_argument(
@@ -93,32 +135,36 @@ def _cmd_extract(args: argparse.Namespace) -> int:
             fraction=args.sample_fraction, strategy=args.strategy
         ),
     )
-    project = DBSynthProject(name=args.name, source=source, build_options=options)
-    project.extract()
-    if not args.no_profile:
-        project.profile()
-    result = project.build_model()
-    paths = project.save(args.output)
-    timings = project.extracted.timings if project.extracted else None
+    tracer, registry = _telemetry_begin(args)
+    try:
+        project = DBSynthProject(name=args.name, source=source, build_options=options)
+        project.extract()
+        if not args.no_profile:
+            project.profile()
+        result = project.build_model()
+        paths = project.save(args.output)
+        timings = project.extracted.timings if project.extracted else None
 
-    print(f"model written to {paths.model_xml}")
-    print(f"artifacts: {len(result.artifacts.names())}, DDL: {paths.ddl_sql}")
-    if timings:
-        print(
-            f"timings: schema {timings.schema_seconds * 1000:.0f} ms, "
-            f"sizes {timings.sizes_seconds * 1000:.0f} ms, "
-            f"nulls {timings.null_seconds * 1000:.0f} ms, "
-            f"min/max {timings.minmax_seconds * 1000:.0f} ms, "
-            f"sampling {timings.sampling_seconds * 1000:.0f} ms"
-        )
-    if args.verbose:
-        for decision in result.decisions:
+        print(f"model written to {paths.model_xml}")
+        print(f"artifacts: {len(result.artifacts.names())}, DDL: {paths.ddl_sql}")
+        if timings:
             print(
-                f"  {decision.table}.{decision.column}: "
-                f"{decision.generator} ({decision.reason})"
+                f"timings: schema {timings.schema_seconds * 1000:.0f} ms, "
+                f"sizes {timings.sizes_seconds * 1000:.0f} ms, "
+                f"nulls {timings.null_seconds * 1000:.0f} ms, "
+                f"min/max {timings.minmax_seconds * 1000:.0f} ms, "
+                f"sampling {timings.sampling_seconds * 1000:.0f} ms"
             )
-    source.close()
-    return 0
+        if args.verbose:
+            for decision in result.decisions:
+                print(
+                    f"  {decision.table}.{decision.column}: "
+                    f"{decision.generator} ({decision.reason})"
+                )
+        source.close()
+        return 0
+    finally:
+        _telemetry_end(args, tracer, registry)
 
 
 def _cmd_preview(args: argparse.Namespace) -> int:
@@ -135,42 +181,54 @@ def _cmd_preview(args: argparse.Namespace) -> int:
 
 
 def _cmd_generate(args: argparse.Namespace) -> int:
-    engine = _load_engine(args)
-    output = OutputConfig(
-        kind=args.kind,
-        format=args.format,
-        directory=args.directory,
-        database=args.database or "",
-        delimiter=args.delimiter,
-        include_header=args.header,
-    )
-    if args.kind == "sqlite":
-        # The SQL stream needs the target schema in place first.
-        with SQLiteAdapter(output.database) as target:
-            target.execute_script(create_schema_sql(engine.schema, "sqlite"))
-
-    def print_progress(snapshot) -> None:
-        print(
-            f"\r{snapshot.fraction:6.1%} {snapshot.rows_per_second:12,.0f} rows/s "
-            f"{snapshot.mb_per_second:8.2f} MB/s",
-            end="",
-            file=sys.stderr,
+    tracer, registry = _telemetry_begin(args)
+    try:
+        engine = _load_engine(args)
+        output = OutputConfig(
+            kind=args.kind,
+            format=args.format,
+            directory=args.directory,
+            database=args.database or "",
+            delimiter=args.delimiter,
+            include_header=args.header,
         )
+        if args.kind == "sqlite":
+            # The SQL stream needs the target schema in place first.
+            with SQLiteAdapter(output.database) as target:
+                target.execute_script(create_schema_sql(engine.schema, "sqlite"))
 
-    progress = ProgressMonitor(
-        engine.total_rows(),
-        engine.sizes,
-        callback=print_progress if not args.quiet else None,
-    )
-    report = generate(engine, output, workers=args.workers, progress=progress)
-    if not args.quiet:
-        print(file=sys.stderr)
-    print(
-        f"{report.rows:,} rows, {report.bytes_written / 1048576:.2f} MiB "
-        f"in {report.seconds:.2f} s ({report.mb_per_second:.2f} MB/s, "
-        f"{args.workers} workers)"
-    )
-    return 0
+        def print_progress(snapshot) -> None:
+            print(
+                f"\r{snapshot.fraction:6.1%} {snapshot.rows_per_second:12,.0f} rows/s "
+                f"{snapshot.mb_per_second:8.2f} MB/s",
+                end="",
+                file=sys.stderr,
+            )
+
+        progress = ProgressMonitor(
+            engine.total_rows(),
+            engine.sizes,
+            callback=print_progress if not args.quiet else None,
+        )
+        report = generate(engine, output, workers=args.workers, progress=progress)
+        if not args.quiet:
+            print(file=sys.stderr)
+        print(
+            f"{report.rows:,} rows, {report.bytes_written / 1048576:.2f} MiB "
+            f"in {report.seconds:.2f} s ({report.mb_per_second:.2f} MB/s, "
+            f"{args.workers} workers)"
+        )
+        if not args.quiet:
+            for table in report.tables:
+                print(
+                    f"  {table.name:<16} {table.rows:>12,} rows "
+                    f"{table.bytes_written / 1048576:>9.2f} MiB "
+                    f"{table.mb_per_second:>8.2f} MB/s "
+                    f"({table.seconds:.2f} s)"
+                )
+        return 0
+    finally:
+        _telemetry_end(args, tracer, registry)
 
 
 def _cmd_translate(args: argparse.Namespace) -> int:
@@ -211,6 +269,76 @@ def _cmd_workload(args: argparse.Namespace) -> int:
     return 0 if report.failed == 0 else 1
 
 
+def _cmd_stats(args: argparse.Namespace) -> int:
+    """Summarize telemetry or sample per-generator latency of a model."""
+    if args.trace_file:
+        records = obs.read_trace_jsonl(args.trace_file)
+        if not records:
+            print("no spans in trace")
+            return 0
+        print(f"{len(records)} spans, "
+              f"{len({r.thread_id for r in records})} threads")
+        print(f"{'span':<28} {'count':>7} {'total ms':>12} {'mean ms':>10} "
+              f"{'max ms':>10}")
+        for agg in obs.aggregate_spans(records):
+            print(
+                f"{agg.name:<28} {agg.count:>7} "
+                f"{agg.total_seconds * 1000:>12.1f} "
+                f"{agg.mean_seconds * 1000:>10.2f} "
+                f"{agg.max_seconds * 1000:>10.2f}"
+            )
+        return 0
+
+    engine = _load_engine(args)
+    tables = [args.table] if args.table else list(engine.sizes)
+    for name in tables:
+        bound = engine.bound_table(name)
+        print(f"-- {name}: {engine.sizes[name]:,} rows, "
+              f"{len(bound.column_names)} columns")
+        if not args.latency:
+            for column, generator in zip(bound.column_names, bound.generators):
+                print(f"  {column:<24} {type(generator).__name__}")
+            continue
+        stats = _sample_generator_latency(
+            engine, name, rows=args.latency_rows
+        )
+        for column, generator, latency in stats:
+            print(
+                f"  {column:<24} {generator:<28} {latency.mean_ns:>10,.0f} ns "
+                f"(median {latency.median_ns:,.0f})"
+            )
+    return 0
+
+
+def _sample_generator_latency(engine, table: str, rows: int = 200):
+    """Per-column generator latency via the recompute primitive.
+
+    The paper's Figures 7-9 methodology (warmup + repeated batches),
+    applied per generator: each sample recomputes one cell through
+    ``BoundTable.generate_value`` with rows cycling over the table.
+    """
+    from repro.metrics import per_value_latency
+
+    bound = engine.bound_table(table)
+    ctx = engine.new_context(table)
+    size = engine.sizes[table]
+    results = []
+    for index, column in enumerate(bound.column_names):
+        state = {"row": 0}
+
+        def call(index=index, state=state):
+            row = state["row"]
+            state["row"] = row + 1 if row + 1 < size else 0
+            bound.generate_value(index, row, ctx)
+
+        latency = per_value_latency(
+            call, batch=max(rows, 1), repeats=3, warmup=min(50, rows)
+        )
+        generator = type(bound.generators[index]).__name__
+        results.append((column, generator, latency))
+    return results
+
+
 def _cmd_update(args: argparse.Namespace) -> int:
     engine = _load_engine(args)
     blackbox = UpdateBlackBox(engine.schema, engine.artifacts)
@@ -247,6 +375,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--strategy", choices=("bernoulli", "first", "systematic"), default="bernoulli"
     )
     extract.add_argument("-v", "--verbose", action="store_true")
+    _add_telemetry_args(extract)
     extract.set_defaults(func=_cmd_extract)
 
     preview = commands.add_parser("preview", help="show generated sample rows")
@@ -267,6 +396,7 @@ def build_parser() -> argparse.ArgumentParser:
     gen.add_argument("--header", action="store_true")
     gen.add_argument("-w", "--workers", type=int, default=1)
     gen.add_argument("-q", "--quiet", action="store_true")
+    _add_telemetry_args(gen)
     gen.set_defaults(func=_cmd_generate)
 
     translate = commands.add_parser("translate", help="print target DDL")
@@ -291,6 +421,25 @@ def build_parser() -> argparse.ArgumentParser:
     workload.add_argument("--count", type=int, default=2,
                           help="instances per query template")
     workload.set_defaults(func=_cmd_workload)
+
+    stats = commands.add_parser(
+        "stats", help="summarize a trace log or a model's generators"
+    )
+    _add_model_args(stats)
+    stats.add_argument(
+        "--trace", dest="trace_file", metavar="FILE",
+        help="span JSONL log to summarize (from generate/extract --trace)",
+    )
+    stats.add_argument("--table", help="restrict to one table")
+    stats.add_argument(
+        "--latency", action="store_true",
+        help="sample per-generator value latency (Figures 7-9 methodology)",
+    )
+    stats.add_argument(
+        "--latency-rows", type=int, default=200,
+        help="rows per latency sample batch (default 200)",
+    )
+    stats.set_defaults(func=_cmd_stats)
 
     update = commands.add_parser("update", help="inspect update epochs")
     _add_model_args(update)

@@ -9,16 +9,18 @@ in :mod:`repro.core.profiling`.
 
 Every phase is timed individually because the paper's §4 extraction
 experiment reports per-phase latencies (schema 600 ms, sizes 1.3 s, ...);
-:class:`PhaseTimings` is the structure the benchmark prints.
+:class:`PhaseTimings` is the structure the benchmark prints. Each phase
+runs under an ``obs.timed`` span, so the same durations appear in the
+trace log when tracing is enabled.
 """
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 
 from repro.db.adapter import ColumnInfo, DatabaseAdapter, ForeignKeyInfo
 from repro.exceptions import ExtractionError
+from repro.obs import timed
 
 
 @dataclass
@@ -97,21 +99,22 @@ class SchemaExtractor:
         reads only the catalog; sizes add one COUNT(*) scan per table)."""
         result = ExtractedSchema(source=getattr(self.adapter, "database", "<adapter>"))
 
-        started = time.perf_counter()
-        names = self.adapter.table_names()
-        if not names:
-            raise ExtractionError("source database has no user tables")
-        for name in names:
-            table = ExtractedTable(name=name)
-            fks = {fk.column: fk for fk in self.adapter.foreign_keys(name)}
-            for info in self.adapter.columns(name):
-                table.columns.append(ExtractedColumn(info, fks.get(info.name)))
-            result.tables.append(table)
-        result.timings.schema_seconds = time.perf_counter() - started
+        with timed("extraction.schema", source=result.source) as phase:
+            names = self.adapter.table_names()
+            if not names:
+                raise ExtractionError("source database has no user tables")
+            for name in names:
+                table = ExtractedTable(name=name)
+                fks = {fk.column: fk for fk in self.adapter.foreign_keys(name)}
+                for info in self.adapter.columns(name):
+                    table.columns.append(ExtractedColumn(info, fks.get(info.name)))
+                result.tables.append(table)
+            phase.set(tables=len(result.tables))
+        result.timings.schema_seconds = phase.seconds
 
         if include_sizes:
-            started = time.perf_counter()
-            for table in result.tables:
-                table.row_count = self.adapter.row_count(table.name)
-            result.timings.sizes_seconds = time.perf_counter() - started
+            with timed("extraction.sizes", tables=len(result.tables)) as phase:
+                for table in result.tables:
+                    table.row_count = self.adapter.row_count(table.name)
+            result.timings.sizes_seconds = phase.seconds
         return result

@@ -33,6 +33,7 @@ from repro.db.adapter import DatabaseAdapter
 from repro.exceptions import ExtractionError
 from repro.generators.base import ArtifactStore
 from repro.model.datatypes import DataType, TypeFamily, parse_type
+from repro.obs import active_metrics, span
 from repro.model.schema import Field, GeneratorSpec, Schema, Table
 from repro.text.tokenizer import classify_values
 
@@ -116,16 +117,27 @@ class ModelBuilder:
         artifacts = ArtifactStore()
         result = BuildResult(schema=schema, artifacts=artifacts)
 
-        for table in extracted.tables:
-            rows = table.row_count if table.row_count is not None else 1000
-            size_property = f"{table.name}_size"
-            schema.properties.define(size_property, f"{rows} * ${{SF}}")
-            model_table = Table(table.name, f"${{{size_property}}}")
-            for column in table.columns:
-                model_table.fields.append(
-                    self._build_field(extracted, table, column, profile, result)
-                )
-            schema.add_table(model_table)
+        with span("model.build", tables=len(extracted.tables)) as build_span:
+            for table in extracted.tables:
+                rows = table.row_count if table.row_count is not None else 1000
+                size_property = f"{table.name}_size"
+                schema.properties.define(size_property, f"{rows} * ${{SF}}")
+                model_table = Table(table.name, f"${{{size_property}}}")
+                with span("model.table", table=table.name, columns=len(table.columns)):
+                    for column in table.columns:
+                        model_table.fields.append(
+                            self._build_field(extracted, table, column, profile, result)
+                        )
+                schema.add_table(model_table)
+            build_span.set(columns=len(result.decisions))
+
+        registry = active_metrics()
+        if registry is not None:
+            chosen = registry.counter(
+                "model_columns_total", "columns modeled, by chosen generator"
+            )
+            for decision in result.decisions:
+                chosen.inc(generator=decision.generator)
         return result
 
     # -- per-column decision -------------------------------------------------

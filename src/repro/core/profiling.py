@@ -8,13 +8,13 @@ and the fidelity report (original-vs-synthetic comparison).
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 
 from repro.core.extraction import ExtractedSchema
 from repro.db.adapter import DatabaseAdapter
 from repro.model.datatypes import TypeFamily, parse_type
 from repro.exceptions import ModelError
+from repro.obs import timed
 
 
 @dataclass
@@ -80,44 +80,46 @@ class DataProfiler:
                 profile.put(ColumnProfile(table.name, column.name))
 
         if options.null_probabilities:
-            started = time.perf_counter()
-            for table in extracted.tables:
-                for column in table.columns:
-                    entry = profile.get(table.name, column.name)
-                    assert entry is not None
-                    entry.null_fraction = self.adapter.null_fraction(
-                        table.name, column.name
-                    )
-            extracted.timings.null_seconds += time.perf_counter() - started
+            with timed("profiling.null_fractions") as phase:
+                for table in extracted.tables:
+                    for column in table.columns:
+                        entry = profile.get(table.name, column.name)
+                        assert entry is not None
+                        entry.null_fraction = self.adapter.null_fraction(
+                            table.name, column.name
+                        )
+            extracted.timings.null_seconds += phase.seconds
 
         if options.min_max:
-            started = time.perf_counter()
-            for table in extracted.tables:
-                for column in table.columns:
-                    entry = profile.get(table.name, column.name)
-                    assert entry is not None
-                    entry.min_value, entry.max_value = self.adapter.min_max(
-                        table.name, column.name
-                    )
-            extracted.timings.minmax_seconds += time.perf_counter() - started
+            with timed("profiling.min_max") as phase:
+                for table in extracted.tables:
+                    for column in table.columns:
+                        entry = profile.get(table.name, column.name)
+                        assert entry is not None
+                        entry.min_value, entry.max_value = self.adapter.min_max(
+                            table.name, column.name
+                        )
+            extracted.timings.minmax_seconds += phase.seconds
 
         if options.distinct_counts:
-            for table in extracted.tables:
-                for column in table.columns:
-                    entry = profile.get(table.name, column.name)
-                    assert entry is not None
-                    entry.distinct_count = self.adapter.distinct_count(
-                        table.name, column.name
-                    )
+            with timed("profiling.distinct_counts"):
+                for table in extracted.tables:
+                    for column in table.columns:
+                        entry = profile.get(table.name, column.name)
+                        assert entry is not None
+                        entry.distinct_count = self.adapter.distinct_count(
+                            table.name, column.name
+                        )
 
         if options.histograms:
-            for table in extracted.tables:
-                for column in table.columns:
-                    entry = profile.get(table.name, column.name)
-                    assert entry is not None
-                    entry.histogram = self.adapter.histogram(
-                        table.name, column.name, options.histogram_buckets
-                    )
+            with timed("profiling.histograms"):
+                for table in extracted.tables:
+                    for column in table.columns:
+                        entry = profile.get(table.name, column.name)
+                        assert entry is not None
+                        entry.histogram = self.adapter.histogram(
+                            table.name, column.name, options.histogram_buckets
+                        )
         return profile
 
 

@@ -9,12 +9,12 @@ extraction's sampling phase (the §4 experiment sweeps the fraction from
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 
 from repro.core.extraction import ExtractedSchema
 from repro.db.adapter import DatabaseAdapter
 from repro.exceptions import ExtractionError
+from repro.obs import timed
 
 _STRATEGIES = ("bernoulli", "first", "systematic")
 
@@ -60,20 +60,21 @@ class ColumnSampler:
     ) -> list[str]:
         """Sampled non-NULL values as strings."""
         config = config or SampleConfig()
-        started = time.perf_counter()
-        values = self.adapter.sample_column(
-            table,
-            column,
-            fraction=config.fraction,
-            limit=config.max_values,
-            strategy=config.strategy,
-        )
-        if len(values) < config.min_values:
-            # Fraction too small for this table: top up with a first-N
-            # scan so the dictionary/Markov builders always have signal.
+        with timed("extraction.sample", table=table, column=column) as phase:
             values = self.adapter.sample_column(
-                table, column, fraction=1.0, limit=max(config.min_values, 1),
-                strategy="first",
+                table,
+                column,
+                fraction=config.fraction,
+                limit=config.max_values,
+                strategy=config.strategy,
             )
-        extracted.timings.sampling_seconds += time.perf_counter() - started
+            if len(values) < config.min_values:
+                # Fraction too small for this table: top up with a first-N
+                # scan so the dictionary/Markov builders always have signal.
+                values = self.adapter.sample_column(
+                    table, column, fraction=1.0, limit=max(config.min_values, 1),
+                    strategy="first",
+                )
+            phase.set(values=len(values))
+        extracted.timings.sampling_seconds += phase.seconds
         return [str(v) for v in values if v is not None]

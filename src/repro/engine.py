@@ -21,6 +21,7 @@ from repro.generators.base import (
 from repro.generators.registry import build_bound
 from repro.model.schema import Schema, Table
 from repro.model.validation import ensure_valid
+from repro.obs import active_metrics
 from repro.output.rows import ValueFormatter
 from repro.prng.seeding import ColumnSeeder, SeedHierarchy
 from repro.prng.xorshift import XorShift64Star, mix64
@@ -134,6 +135,10 @@ class GenerationEngine:
                 table, self.hierarchy, contexts, update
             )
         self._local = threading.local()
+        # Bound telemetry instruments, cached per active registry so the
+        # recompute hot path pays one identity check when metrics are on
+        # and one None check when they are off.
+        self._obs_instruments: tuple | None = None
 
     # -- contexts ----------------------------------------------------------
 
@@ -164,6 +169,27 @@ class GenerationEngine:
 
     # -- the core primitive --------------------------------------------------
 
+    def _recompute_instruments(self):
+        """``(counter, depth_gauge)`` for the active registry, or None."""
+        registry = active_metrics()
+        if registry is None:
+            return None
+        cached = self._obs_instruments
+        if cached is None or cached[0] is not registry:
+            cached = (
+                registry,
+                registry.counter(
+                    "engine_recomputes_total",
+                    "dependency recomputations via compute_value",
+                ),
+                registry.gauge(
+                    "engine_recompute_depth_max",
+                    "deepest nested dependency recomputation seen",
+                ),
+            )
+            self._obs_instruments = cached
+        return cached[1], cached[2]
+
     def compute_value(self, table_name: str, field_name: str, row: int) -> object:
         """Recompute one cell without generating anything else.
 
@@ -184,6 +210,11 @@ class GenerationEngine:
                 f"dependency depth exceeded computing {table_name}.{field_name}; "
                 "cyclic field dependency?"
             )
+        instruments = self._recompute_instruments()
+        if instruments is not None:
+            recomputes, depth_gauge = instruments
+            recomputes.inc(table=table_name)
+            depth_gauge.set_max(state.depth + 1)
         ctx = state.acquire(self, table_name)
         state.depth += 1
         try:

@@ -1,0 +1,89 @@
+"""Observability: tracing spans, a metrics registry, and exporters.
+
+The paper's PDGF reports per-table and total progress plus throughput
+over JMX (§5); this package is the reproduction's substitute and goes
+further, instrumenting every pipeline stage — extraction, profiling,
+model building, the engine's recompute path, the scheduler's work
+packages, and the output system.
+
+Usage::
+
+    from repro import obs
+
+    tracer = obs.enable_tracing()
+    registry = obs.enable_metrics()
+    ...  # run the pipeline; instrumented code records automatically
+    obs.write_trace_jsonl(tracer, "trace.jsonl")
+    obs.write_metrics_text(registry, "metrics.prom")
+    print("\\n".join(obs.summary_lines(registry, tracer)))
+    obs.reset()
+
+Both facilities are **off by default**; disabled instrumentation costs
+one global load and a branch per site.
+"""
+
+from __future__ import annotations
+
+from repro.obs.export import (
+    SpanAggregate,
+    aggregate_spans,
+    read_trace_jsonl,
+    render_prometheus,
+    summary_lines,
+    trace_lines,
+    write_metrics_text,
+    write_trace_jsonl,
+)
+from repro.obs.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    active_metrics,
+    disable_metrics,
+    enable_metrics,
+)
+from repro.obs.trace import (
+    SpanRecord,
+    Stopwatch,
+    Tracer,
+    active_tracer,
+    disable_tracing,
+    enable_tracing,
+    span,
+    timed,
+)
+
+
+def reset() -> None:
+    """Disable tracing and metrics (end-of-run / test hygiene)."""
+    disable_tracing()
+    disable_metrics()
+
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "SpanAggregate",
+    "SpanRecord",
+    "Stopwatch",
+    "Tracer",
+    "active_metrics",
+    "active_tracer",
+    "aggregate_spans",
+    "disable_metrics",
+    "disable_tracing",
+    "enable_metrics",
+    "enable_tracing",
+    "read_trace_jsonl",
+    "render_prometheus",
+    "reset",
+    "span",
+    "summary_lines",
+    "timed",
+    "trace_lines",
+    "write_metrics_text",
+    "write_trace_jsonl",
+]

@@ -1,0 +1,221 @@
+"""Telemetry exporters: JSONL span logs, Prometheus text, run summaries.
+
+Three consumers, three formats (the "report measured throughput per
+stage" requirement of the BDGS/survey evaluations):
+
+* machines replaying a run read the **JSONL span log** (one object per
+  line, ``meta`` record first);
+* scrapers read the **Prometheus text exposition** dump;
+* humans read the **end-of-run summary**, a per-stage/per-table digest
+  printed by the CLI.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import defaultdict
+from dataclasses import dataclass
+
+from repro.exceptions import ReproError
+from repro.obs.registry import Histogram, MetricsRegistry
+from repro.obs.trace import SpanRecord, Tracer
+
+
+# -- JSONL span log ----------------------------------------------------------
+
+def trace_lines(tracer: Tracer) -> list[str]:
+    """The JSONL lines of a tracer's spans (meta record first)."""
+    spans = tracer.spans()
+    lines = [
+        json.dumps(
+            {
+                "event": "meta",
+                "epoch_wall": tracer.epoch_wall,
+                "spans": len(spans),
+            },
+            separators=(",", ":"),
+        )
+    ]
+    for record in spans:
+        lines.append(
+            json.dumps(
+                {
+                    "event": "span",
+                    "span_id": record.span_id,
+                    "parent_id": record.parent_id,
+                    "name": record.name,
+                    "thread_id": record.thread_id,
+                    "start": round(record.start, 9),
+                    "duration": round(record.duration, 9),
+                    "attrs": record.attrs,
+                },
+                separators=(",", ":"),
+                default=str,
+            )
+        )
+    return lines
+
+
+def write_trace_jsonl(tracer: Tracer, path: str) -> int:
+    """Dump every finished span to *path*; returns the span count."""
+    lines = trace_lines(tracer)
+    try:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write("\n".join(lines) + "\n")
+    except OSError as exc:
+        raise ReproError(f"cannot write trace {path!r}: {exc}") from exc
+    return len(lines) - 1  # minus the meta record
+
+
+def read_trace_jsonl(path: str) -> list[SpanRecord]:
+    """Parse a span log written by :func:`write_trace_jsonl`."""
+    records: list[SpanRecord] = []
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            for line_number, line in enumerate(handle, 1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    obj = json.loads(line)
+                except json.JSONDecodeError as exc:
+                    raise ReproError(
+                        f"{path}:{line_number}: invalid trace line: {exc}"
+                    ) from exc
+                if obj.get("event") != "span":
+                    continue
+                records.append(
+                    SpanRecord(
+                        span_id=int(obj["span_id"]),
+                        parent_id=obj.get("parent_id"),
+                        name=str(obj["name"]),
+                        thread_id=int(obj.get("thread_id", 0)),
+                        start=float(obj["start"]),
+                        duration=float(obj["duration"]),
+                        attrs=dict(obj.get("attrs") or {}),
+                    )
+                )
+    except OSError as exc:
+        raise ReproError(f"cannot read trace {path!r}: {exc}") from exc
+    return records
+
+
+@dataclass(frozen=True)
+class SpanAggregate:
+    """Per-span-name rollup of a trace."""
+
+    name: str
+    count: int
+    total_seconds: float
+    max_seconds: float
+
+    @property
+    def mean_seconds(self) -> float:
+        return self.total_seconds / self.count if self.count else 0.0
+
+
+def aggregate_spans(records: list[SpanRecord]) -> list[SpanAggregate]:
+    """Roll spans up by name, longest cumulative duration first."""
+    totals: dict[str, list[float]] = defaultdict(lambda: [0, 0.0, 0.0])
+    for record in records:
+        entry = totals[record.name]
+        entry[0] += 1
+        entry[1] += record.duration
+        entry[2] = max(entry[2], record.duration)
+    aggregates = [
+        SpanAggregate(name, int(count), total, peak)
+        for name, (count, total, peak) in totals.items()
+    ]
+    aggregates.sort(key=lambda a: a.total_seconds, reverse=True)
+    return aggregates
+
+
+# -- Prometheus text exposition ----------------------------------------------
+
+def _render_labels(key: tuple[tuple[str, str], ...]) -> str:
+    if not key:
+        return ""
+    inner = ",".join(f'{name}="{value}"' for name, value in key)
+    return "{" + inner + "}"
+
+
+def _merge_label(key: tuple[tuple[str, str], ...], name: str, value: str) -> str:
+    pairs = sorted([*key, (name, value)])
+    return _render_labels(tuple(pairs))
+
+
+def render_prometheus(registry: MetricsRegistry) -> str:
+    """The registry in Prometheus text exposition format."""
+    lines: list[str] = []
+    for metric in registry.metrics():
+        if metric.description:
+            lines.append(f"# HELP {metric.name} {metric.description}")
+        lines.append(f"# TYPE {metric.name} {metric.kind}")
+        if isinstance(metric, Histogram):
+            for key in metric.label_sets():
+                snap = metric.snapshot(**dict(key))
+                bounds = [*metric.bounds, float("inf")]
+                for bound, cumulative in zip(bounds, snap["buckets"]):
+                    le = "+Inf" if bound == float("inf") else repr(bound)
+                    lines.append(
+                        f"{metric.name}_bucket"
+                        f"{_merge_label(key, 'le', le)} {cumulative}"
+                    )
+                lines.append(f"{metric.name}_sum{_render_labels(key)} {snap['sum']}")
+                lines.append(f"{metric.name}_count{_render_labels(key)} {snap['count']}")
+            continue
+        with metric._lock:
+            values = dict(metric._values)
+        for key in sorted(values):
+            lines.append(f"{metric.name}{_render_labels(key)} {values[key]}")
+    return "\n".join(lines) + "\n"
+
+
+def write_metrics_text(registry: MetricsRegistry, path: str) -> None:
+    try:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(render_prometheus(registry))
+    except OSError as exc:
+        raise ReproError(f"cannot write metrics {path!r}: {exc}") from exc
+
+
+# -- human-readable end-of-run summary ---------------------------------------
+
+def summary_lines(
+    registry: MetricsRegistry | None = None,
+    tracer: Tracer | None = None,
+    top_spans: int = 12,
+) -> list[str]:
+    """A printable digest of a run's metrics and hottest spans."""
+    lines: list[str] = ["== telemetry summary =="]
+    if registry is not None:
+        for metric in registry.metrics():
+            if isinstance(metric, Histogram):
+                for key in metric.label_sets():
+                    snap = metric.snapshot(**dict(key))
+                    if not snap["count"]:
+                        continue
+                    mean = snap["sum"] / snap["count"]
+                    lines.append(
+                        f"  {metric.name}{_render_labels(key)}: "
+                        f"n={snap['count']} mean={mean:,.1f}"
+                    )
+                continue
+            with metric._lock:
+                values = dict(metric._values)
+            for key in sorted(values):
+                value = values[key]
+                rendered = f"{value:,.2f}" if isinstance(value, float) else f"{value:,}"
+                lines.append(f"  {metric.name}{_render_labels(key)}: {rendered}")
+    if tracer is not None:
+        aggregates = aggregate_spans(tracer.spans())
+        if aggregates:
+            lines.append("  -- spans (by cumulative time) --")
+            for agg in aggregates[:top_spans]:
+                lines.append(
+                    f"  {agg.name:<28} n={agg.count:<6} "
+                    f"total={agg.total_seconds * 1000:10.1f} ms "
+                    f"mean={agg.mean_seconds * 1000:8.2f} ms "
+                    f"max={agg.max_seconds * 1000:8.2f} ms"
+                )
+    return lines

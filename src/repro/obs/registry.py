@@ -1,0 +1,261 @@
+"""Process-wide metrics: counters, gauges, fixed-bucket histograms.
+
+The JMX beans PDGF exposes (rows per table, total progress, throughput —
+paper §5) map here to named metrics with optional labels. A
+:class:`MetricsRegistry` owns every metric of a run; instrumented code
+asks the process registry via :func:`active_metrics` and does nothing
+when telemetry is disabled, keeping the disabled cost to one global
+load and a branch.
+
+Label fast path: ``metric.labels(table="lineitem")`` returns a bound
+child whose ``inc``/``set``/``observe`` skip the label-key construction
+on every call — workers bind their labels once per package, not once
+per value.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+from typing import Iterable
+
+from repro.exceptions import ReproError
+
+LabelKey = tuple[tuple[str, str], ...]
+
+
+def _label_key(labels: dict[str, object]) -> LabelKey:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+class Metric:
+    """Base: a named family of per-label-set values."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, description: str = "") -> None:
+        self.name = name
+        self.description = description
+        self._lock = threading.Lock()
+        self._values: dict[LabelKey, object] = {}
+
+    def label_sets(self) -> list[LabelKey]:
+        with self._lock:
+            return list(self._values)
+
+
+class Counter(Metric):
+    """Monotonically increasing count."""
+
+    kind = "counter"
+
+    def inc(self, amount: int | float = 1, **labels: object) -> None:
+        if amount < 0:
+            raise ReproError(f"counter {self.name} cannot decrease (got {amount})")
+        key = _label_key(labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0) + amount
+
+    def value(self, **labels: object) -> int | float:
+        with self._lock:
+            return self._values.get(_label_key(labels), 0)  # type: ignore[return-value]
+
+    def total(self) -> int | float:
+        """Sum across every label set."""
+        with self._lock:
+            return sum(self._values.values())  # type: ignore[arg-type]
+
+    def labels(self, **labels: object) -> "BoundCounter":
+        return BoundCounter(self, _label_key(labels))
+
+
+class BoundCounter:
+    """A counter pre-bound to one label set (hot-path increments)."""
+
+    __slots__ = ("_metric", "_key")
+
+    def __init__(self, metric: Counter, key: LabelKey) -> None:
+        self._metric = metric
+        self._key = key
+
+    def inc(self, amount: int | float = 1) -> None:
+        metric = self._metric
+        with metric._lock:
+            metric._values[self._key] = metric._values.get(self._key, 0) + amount
+
+
+class Gauge(Metric):
+    """Point-in-time value (also supports high-watermark tracking)."""
+
+    kind = "gauge"
+
+    def set(self, value: int | float, **labels: object) -> None:
+        key = _label_key(labels)
+        with self._lock:
+            self._values[key] = value
+
+    def set_max(self, value: int | float, **labels: object) -> None:
+        """Keep the maximum ever seen (dependency-depth watermark)."""
+        key = _label_key(labels)
+        with self._lock:
+            current = self._values.get(key)
+            if current is None or value > current:  # type: ignore[operator]
+                self._values[key] = value
+
+    def add(self, amount: int | float, **labels: object) -> None:
+        key = _label_key(labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0) + amount  # type: ignore[operator]
+
+    def value(self, **labels: object) -> int | float:
+        with self._lock:
+            return self._values.get(_label_key(labels), 0)  # type: ignore[return-value]
+
+
+class _HistogramState:
+    __slots__ = ("counts", "sum", "count")
+
+    def __init__(self, buckets: int) -> None:
+        self.counts = [0] * (buckets + 1)  # +1 for the +Inf bucket
+        self.sum = 0.0
+        self.count = 0
+
+
+class Histogram(Metric):
+    """Fixed-bucket histogram (upper bounds set at creation)."""
+
+    kind = "histogram"
+
+    def __init__(
+        self, name: str, buckets: Iterable[float], description: str = ""
+    ) -> None:
+        super().__init__(name, description)
+        bounds = sorted(float(b) for b in buckets)
+        if not bounds:
+            raise ReproError(f"histogram {name} needs at least one bucket bound")
+        self.bounds = bounds
+
+    def observe(self, value: float, **labels: object) -> None:
+        key = _label_key(labels)
+        index = bisect_left(self.bounds, value)
+        with self._lock:
+            state = self._values.get(key)
+            if state is None:
+                state = _HistogramState(len(self.bounds))
+                self._values[key] = state
+            state.counts[index] += 1  # type: ignore[union-attr]
+            state.sum += value  # type: ignore[union-attr]
+            state.count += 1  # type: ignore[union-attr]
+
+    def labels(self, **labels: object) -> "BoundHistogram":
+        return BoundHistogram(self, _label_key(labels))
+
+    def snapshot(self, **labels: object) -> dict[str, object]:
+        """Cumulative bucket counts plus sum/count for one label set."""
+        with self._lock:
+            state = self._values.get(_label_key(labels))
+            if state is None:
+                return {"buckets": [0] * (len(self.bounds) + 1), "sum": 0.0, "count": 0}
+            cumulative = []
+            running = 0
+            for count in state.counts:  # type: ignore[union-attr]
+                running += count
+                cumulative.append(running)
+            return {
+                "buckets": cumulative,
+                "sum": state.sum,  # type: ignore[union-attr]
+                "count": state.count,  # type: ignore[union-attr]
+            }
+
+
+class BoundHistogram:
+    """A histogram pre-bound to one label set."""
+
+    __slots__ = ("_metric", "_key")
+
+    def __init__(self, metric: Histogram, key: LabelKey) -> None:
+        self._metric = metric
+        self._key = key
+
+    def observe(self, value: float) -> None:
+        metric = self._metric
+        index = bisect_left(metric.bounds, value)
+        with metric._lock:
+            state = metric._values.get(self._key)
+            if state is None:
+                state = _HistogramState(len(metric.bounds))
+                metric._values[self._key] = state
+            state.counts[index] += 1  # type: ignore[union-attr]
+            state.sum += value  # type: ignore[union-attr]
+            state.count += 1  # type: ignore[union-attr]
+
+
+class MetricsRegistry:
+    """All metrics of one process, keyed by name.
+
+    ``counter``/``gauge``/``histogram`` are get-or-create: the first
+    caller fixes the metric's type (and a histogram's buckets);
+    mismatched re-registration raises.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, Metric] = {}
+        self._lock = threading.Lock()
+
+    def _get_or_create(self, cls: type, name: str, factory) -> Metric:
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = factory()
+                self._metrics[name] = metric
+            elif not isinstance(metric, cls):
+                raise ReproError(
+                    f"metric {name!r} already registered as {metric.kind}"
+                )
+            return metric
+
+    def counter(self, name: str, description: str = "") -> Counter:
+        return self._get_or_create(  # type: ignore[return-value]
+            Counter, name, lambda: Counter(name, description)
+        )
+
+    def gauge(self, name: str, description: str = "") -> Gauge:
+        return self._get_or_create(  # type: ignore[return-value]
+            Gauge, name, lambda: Gauge(name, description)
+        )
+
+    def histogram(
+        self, name: str, buckets: Iterable[float], description: str = ""
+    ) -> Histogram:
+        return self._get_or_create(  # type: ignore[return-value]
+            Histogram, name, lambda: Histogram(name, buckets, description)
+        )
+
+    def metrics(self) -> list[Metric]:
+        with self._lock:
+            return [self._metrics[name] for name in sorted(self._metrics)]
+
+    def get(self, name: str) -> Metric | None:
+        with self._lock:
+            return self._metrics.get(name)
+
+
+# -- process-global state ----------------------------------------------------
+
+_registry: MetricsRegistry | None = None
+
+
+def enable_metrics(registry: MetricsRegistry | None = None) -> MetricsRegistry:
+    """Install *registry* (or a fresh one) as the process registry."""
+    global _registry
+    _registry = registry or MetricsRegistry()
+    return _registry
+
+
+def disable_metrics() -> None:
+    global _registry
+    _registry = None
+
+
+def active_metrics() -> MetricsRegistry | None:
+    return _registry

@@ -37,6 +37,10 @@ class ValueFormatter:
         self.float_places = float_places
         self._cache: dict[object, str] = {}
         self._cache_limit = cache_limit
+        #: cacheable-value lookups that hit / missed the memo cache
+        #: (telemetry rolls these up per work package)
+        self.cache_hits = 0
+        self.cache_misses = 0
 
     def format(self, value: object) -> str:
         """Format one value to text."""
@@ -57,7 +61,9 @@ class ValueFormatter:
     def _format_cached(self, value: object) -> str:
         cached = self._cache.get(value)
         if cached is not None:
+            self.cache_hits += 1
             return cached
+        self.cache_misses += 1
         if isinstance(value, datetime.datetime):
             text = value.strftime(self.timestamp_format)
         elif isinstance(value, datetime.date):

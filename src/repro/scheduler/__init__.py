@@ -2,7 +2,7 @@
 
 from repro.scheduler.meta import ClusterReport, MetaScheduler, NodeReport, run_node
 from repro.scheduler.progress import ProgressMonitor, ProgressSnapshot
-from repro.scheduler.scheduler import RunReport, Scheduler, generate
+from repro.scheduler.scheduler import RunReport, Scheduler, TableReport, generate
 from repro.scheduler.work import (
     DEFAULT_PACKAGE_SIZE,
     WorkPackage,
@@ -20,6 +20,7 @@ __all__ = [
     "ProgressSnapshot",
     "RunReport",
     "Scheduler",
+    "TableReport",
     "generate",
     "DEFAULT_PACKAGE_SIZE",
     "WorkPackage",

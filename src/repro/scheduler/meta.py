@@ -21,6 +21,7 @@ from dataclasses import dataclass
 from repro.engine import GenerationEngine
 from repro.exceptions import SchedulingError
 from repro.generators.base import ArtifactStore
+from repro.metrics import throughput_mb_per_s
 from repro.model.schema import Schema
 from repro.output.config import OutputConfig
 from repro.scheduler.scheduler import RunReport, Scheduler
@@ -61,9 +62,7 @@ class ClusterReport:
 
     @property
     def mb_per_second(self) -> float:
-        if self.seconds <= 0:
-            return 0.0
-        return self.bytes_written / (1024 * 1024) / self.seconds
+        return throughput_mb_per_s(self.bytes_written, self.seconds)
 
 
 def node_ranges(sizes: dict[str, int], nodes: int, node: int) -> dict[str, tuple[int, int]]:

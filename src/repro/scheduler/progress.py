@@ -14,6 +14,8 @@ import time
 from dataclasses import dataclass
 from typing import Callable
 
+from repro.metrics import throughput_mb_per_s
+
 
 @dataclass(frozen=True)
 class ProgressSnapshot:
@@ -38,9 +40,7 @@ class ProgressSnapshot:
 
     @property
     def mb_per_second(self) -> float:
-        if self.elapsed_seconds <= 0:
-            return 0.0
-        return self.bytes_written / (1024 * 1024) / self.elapsed_seconds
+        return throughput_mb_per_s(self.bytes_written, self.elapsed_seconds)
 
 
 class ProgressMonitor:
@@ -74,10 +74,10 @@ class ProgressMonitor:
         with self._lock:
             self._rows_done += rows
             self._bytes += bytes_written
-            if table in self._table_done:
-                self._table_done[table] += rows
-            elif self._table_totals:
-                self._table_done[table] = rows
+            # Tables missing from the totals dict (late additions, ad-hoc
+            # names) are tracked uniformly; table_progress() reports them
+            # with a zero total.
+            self._table_done[table] = self._table_done.get(table, 0) + rows
             now = time.perf_counter()
             if self._callback and now - self._last_callback >= self._min_interval:
                 self._last_callback = now
@@ -98,9 +98,14 @@ class ProgressMonitor:
             return self._snapshot_locked(time.perf_counter())
 
     def table_progress(self) -> dict[str, tuple[int, int]]:
-        """Per-table ``(done, total)`` pairs."""
+        """Per-table ``(done, total)`` pairs.
+
+        Includes tables never declared in ``table_totals`` (their total
+        reads 0), so no generated work is invisible to observers.
+        """
         with self._lock:
+            names = {**self._table_totals, **self._table_done}
             return {
-                name: (self._table_done.get(name, 0), total)
-                for name, total in self._table_totals.items()
+                name: (self._table_done.get(name, 0), self._table_totals.get(name, 0))
+                for name in names
             }

@@ -5,19 +5,58 @@ package is generated, it is sent to the output system, where it can be
 formatted and sorted" (paper §2). Workers format their package into a
 private buffer (own writer, own formatter cache) and hand the finished
 chunk to the ordered mux, which restores row order per table.
+
+Every run is instrumented: a ``scheduler.run`` span wraps the whole
+generation, each work package runs under a ``scheduler.package`` span,
+and the active metrics registry receives rows/bytes/package counters and
+per-value latency samples, all labelled per table. The per-table
+rollup always feeds the extended :class:`RunReport` — telemetry only
+controls whether it is *also* exported.
 """
 
 from __future__ import annotations
 
+import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.engine import GenerationEngine
+from repro.metrics import throughput_mb_per_s
+from repro.obs import active_metrics, span
 from repro.output.config import OutputConfig
 from repro.output.sinks import OrderedSinkMux, Sink
 from repro.scheduler.progress import ProgressMonitor
 from repro.scheduler.work import DEFAULT_PACKAGE_SIZE, WorkPackage, partition_rows
+
+#: per-value latency histogram bounds, ns (Figures 7-9 run 100-10000 ns)
+_VALUE_LATENCY_BUCKETS_NS = (
+    100.0, 250.0, 500.0, 1_000.0, 2_500.0, 5_000.0,
+    10_000.0, 25_000.0, 50_000.0, 100_000.0,
+)
+
+
+@dataclass(frozen=True)
+class TableReport:
+    """Per-table slice of a run: rows, bytes, and worker seconds.
+
+    ``seconds`` sums the package generation time spent on this table
+    across all workers (CPU-seconds, not wall clock — with N workers it
+    may exceed the run's elapsed time).
+    """
+
+    name: str
+    rows: int
+    bytes_written: int
+    seconds: float
+
+    @property
+    def rows_per_second(self) -> float:
+        return self.rows / self.seconds if self.seconds > 0 else 0.0
+
+    @property
+    def mb_per_second(self) -> float:
+        return throughput_mb_per_s(self.bytes_written, self.seconds)
 
 
 @dataclass(frozen=True)
@@ -28,6 +67,7 @@ class RunReport:
     bytes_written: int
     seconds: float
     workers: int
+    tables: tuple[TableReport, ...] = field(default=())
 
     @property
     def rows_per_second(self) -> float:
@@ -35,9 +75,54 @@ class RunReport:
 
     @property
     def mb_per_second(self) -> float:
-        if self.seconds <= 0:
-            return 0.0
-        return self.bytes_written / (1024 * 1024) / self.seconds
+        return throughput_mb_per_s(self.bytes_written, self.seconds)
+
+    def table(self, name: str) -> TableReport:
+        for report in self.tables:
+            if report.name == name:
+                return report
+        from repro.exceptions import SchedulingError
+
+        raise SchedulingError(f"no table {name!r} in run report")
+
+
+class _TableStats:
+    """Mutable per-table accumulator shared by the workers of one run."""
+
+    __slots__ = ("rows", "bytes", "seconds")
+
+    def __init__(self) -> None:
+        self.rows = 0
+        self.bytes = 0
+        self.seconds = 0.0
+
+
+class _TableInstruments:
+    """Metrics pre-bound to one table's label set (hot-path increments)."""
+
+    __slots__ = ("rows", "bytes", "packages", "fmt_hits", "fmt_misses", "latency")
+
+    def __init__(self, registry, table: str) -> None:
+        self.rows = registry.counter(
+            "rows_generated_total", "rows generated, per table"
+        ).labels(table=table)
+        self.bytes = registry.counter(
+            "bytes_written_total", "formatted output bytes, per table"
+        ).labels(table=table)
+        self.packages = registry.counter(
+            "packages_completed_total", "work packages finished, per table"
+        ).labels(table=table)
+        self.fmt_hits = registry.counter(
+            "formatter_cache_hits_total", "value formatter memo cache hits"
+        ).labels(table=table)
+        self.fmt_misses = registry.counter(
+            "formatter_cache_misses_total", "value formatter memo cache misses"
+        ).labels(table=table)
+        self.latency = registry.histogram(
+            "value_latency_ns",
+            _VALUE_LATENCY_BUCKETS_NS,
+            "per-value generate+format latency sampled per package, ns",
+        ).labels(table=table)
 
 
 class Scheduler:
@@ -82,69 +167,137 @@ class Scheduler:
         muxes: dict[str, OrderedSinkMux] = {}
         footers: list[tuple[Sink, str]] = []
 
-        total_rows = 0
-        for name in names:
-            size = engine.sizes[name]
-            start, stop = 0, size
-            if row_ranges and name in row_ranges:
-                start, stop = row_ranges[name]
-                stop = min(stop, size)
-            share = max(stop - start, 0)
-            total_rows += share
+        registry = active_metrics()
+        stats: dict[str, _TableStats] = {}
+        instruments: dict[str, _TableInstruments] = {}
+        stats_lock = threading.Lock()
 
-            sink = self.output.new_sink(name)
-            sinks.append(sink)
-            mux = OrderedSinkMux(sink)
-            muxes[name] = mux
+        with span(
+            "scheduler.run", workers=self.workers, package_size=self.package_size
+        ) as run_span:
+            total_rows = 0
+            for name in names:
+                size = engine.sizes[name]
+                start, stop = 0, size
+                if row_ranges and name in row_ranges:
+                    start, stop = row_ranges[name]
+                    stop = min(stop, size)
+                share = max(stop - start, 0)
+                total_rows += share
+                stats[name] = _TableStats()
+                if registry is not None:
+                    instruments[name] = _TableInstruments(registry, name)
 
-            columns = engine.bound_table(name).column_names
-            probe_writer = self.output.new_writer(name, columns)
-            header = probe_writer.header()
-            if header:
-                sink.write(header)
-            footer = probe_writer.footer()
-            if footer:
-                footers.append((sink, footer))
+                sink = self.output.new_sink(name)
+                sinks.append(sink)
+                mux = OrderedSinkMux(sink, name)
+                muxes[name] = mux
 
-            for package in partition_rows(name, share, self.package_size, offset=start):
-                packages.append((package, mux))
+                columns = engine.bound_table(name).column_names
+                probe_writer = self.output.new_writer(name, columns)
+                header = probe_writer.header()
+                if header:
+                    sink.write(header)
+                footer = probe_writer.footer()
+                if footer:
+                    footers.append((sink, footer))
 
-        started = time.perf_counter()
-        if self.workers == 1:
-            for package, mux in packages:
-                self._generate_package(package, mux)
-        else:
-            with ThreadPoolExecutor(max_workers=self.workers) as pool:
-                futures = [
-                    pool.submit(self._generate_package, package, mux)
-                    for package, mux in packages
-                ]
-                for future in futures:
-                    future.result()  # re-raise worker exceptions
-        for name in names:
-            muxes[name].finish()
-        for sink, footer in footers:
-            sink.write(footer)
-        elapsed = time.perf_counter() - started
+                for package in partition_rows(name, share, self.package_size, offset=start):
+                    packages.append((package, mux))
+            run_span.set(tables=len(names), packages=len(packages), rows=total_rows)
+            run_span_id = getattr(run_span, "span_id", None)
 
-        bytes_written = sum(sink.bytes_written for sink in sinks)
-        for sink in sinks:
-            sink.close()
-        return RunReport(total_rows, bytes_written, elapsed, self.workers)
+            started = time.perf_counter()
+            if self.workers == 1:
+                for package, mux in packages:
+                    self._generate_package(
+                        package, mux, stats[package.table], stats_lock,
+                        instruments.get(package.table),
+                    )
+            else:
+                with ThreadPoolExecutor(max_workers=self.workers) as pool:
+                    futures = [
+                        pool.submit(
+                            self._generate_package, package, mux,
+                            stats[package.table], stats_lock,
+                            instruments.get(package.table), run_span_id,
+                        )
+                        for package, mux in packages
+                    ]
+                    for future in futures:
+                        future.result()  # re-raise worker exceptions
+            with span("scheduler.finish"):
+                for name in names:
+                    muxes[name].finish()
+                for sink, footer in footers:
+                    sink.write(footer)
+            elapsed = time.perf_counter() - started
 
-    def _generate_package(self, package: WorkPackage, mux: OrderedSinkMux) -> None:
+            bytes_written = sum(sink.bytes_written for sink in sinks)
+            for sink in sinks:
+                sink.close()
+
+        if registry is not None:
+            flush_seconds = registry.counter(
+                "sink_write_seconds_total", "seconds spent writing chunks to sinks"
+            )
+            flush_count = registry.counter(
+                "sink_flushes_total", "ordered chunks flushed to sinks"
+            )
+            for name in names:
+                mux = muxes[name]
+                if mux.flushes:
+                    flush_seconds.inc(mux.write_seconds, table=name)
+                    flush_count.inc(mux.flushes, table=name)
+
+        table_reports = tuple(
+            TableReport(name, stats[name].rows, stats[name].bytes, stats[name].seconds)
+            for name in names
+        )
+        return RunReport(total_rows, bytes_written, elapsed, self.workers, table_reports)
+
+    def _generate_package(
+        self,
+        package: WorkPackage,
+        mux: OrderedSinkMux,
+        stats: _TableStats,
+        stats_lock: threading.Lock,
+        instruments: _TableInstruments | None = None,
+        parent_span_id: int | None = None,
+    ) -> None:
         """Worker body: generate, format, submit in row order."""
         engine = self.engine
-        bound = engine.bound_table(package.table)
-        writer = self.output.new_writer(package.table, bound.column_names)
-        ctx = engine.new_context(package.table)
-        parts: list[str] = []
-        generate_row = bound.generate_row
-        write_row = writer.write_row
-        for row in range(package.start, package.stop):
-            parts.append(write_row(generate_row(row, ctx)))
-        chunk = "".join(parts)
-        mux.submit(package.sequence, chunk)
+        started = time.perf_counter()
+        with span("scheduler.package", parent_span_id, table=package.table,
+                  sequence=package.sequence, rows=package.rows) as package_span:
+            bound = engine.bound_table(package.table)
+            writer = self.output.new_writer(package.table, bound.column_names)
+            ctx = engine.new_context(package.table)
+            parts: list[str] = []
+            generate_row = bound.generate_row
+            write_row = writer.write_row
+            for row in range(package.start, package.stop):
+                parts.append(write_row(generate_row(row, ctx)))
+            chunk = "".join(parts)
+            package_span.set(bytes=len(chunk))
+            mux.submit(package.sequence, chunk)
+        elapsed = time.perf_counter() - started
+        with stats_lock:
+            stats.rows += package.rows
+            stats.bytes += len(chunk)
+            stats.seconds += elapsed
+        if instruments is not None:
+            instruments.rows.inc(package.rows)
+            instruments.bytes.inc(len(chunk))
+            instruments.packages.inc()
+            formatter = writer.formatter
+            if formatter.cache_hits:
+                instruments.fmt_hits.inc(formatter.cache_hits)
+            if formatter.cache_misses:
+                instruments.fmt_misses.inc(formatter.cache_misses)
+            values = package.rows * len(bound.column_names)
+            if values:
+                instruments.latency.observe(elapsed / values * 1e9)
         if self.progress is not None:
             self.progress.add(package.table, package.rows, len(chunk))
 

@@ -1,0 +1,117 @@
+"""CLI telemetry: --trace/--metrics/--summary flags and the stats
+subcommand."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.cli.main import main
+
+
+@pytest.fixture(autouse=True)
+def _clean_obs_state():
+    obs.reset()
+    yield
+    obs.reset()
+
+
+def _generate(tmp_path, *extra: str) -> int:
+    return main([
+        "generate", "--suite", "tpch", "--sf", "0.001",
+        "--kind", "null", "-q", *extra,
+    ])
+
+
+class TestGenerateTelemetryFlags:
+    def test_trace_file_is_parseable_jsonl(self, tmp_path):
+        trace = str(tmp_path / "trace.jsonl")
+        assert _generate(tmp_path, "--trace", trace) == 0
+        lines = [json.loads(line) for line in open(trace, encoding="utf-8")]
+        assert lines[0]["event"] == "meta"
+        names = {line["name"] for line in lines[1:]}
+        assert "scheduler.run" in names
+        assert "scheduler.package" in names
+        assert "sink.write" in names
+
+    def test_metrics_dump_matches_report(self, tmp_path, capsys):
+        metrics = str(tmp_path / "metrics.prom")
+        assert _generate(tmp_path, "--metrics", metrics) == 0
+        out = capsys.readouterr().out
+        reported_rows = int(out.split(" rows,")[0].replace(",", ""))
+        text = open(metrics, encoding="utf-8").read()
+        counted = sum(
+            int(line.rsplit(" ", 1)[1])
+            for line in text.splitlines()
+            if line.startswith("rows_generated_total{")
+        )
+        assert counted == reported_rows == 8690
+
+    def test_summary_flag_prints_digest(self, tmp_path, capsys):
+        assert _generate(tmp_path, "--summary") == 0
+        out = capsys.readouterr().out
+        assert "telemetry summary" in out
+        assert "rows_generated_total" in out
+
+    def test_per_table_breakdown_printed(self, tmp_path, capsys):
+        assert main([
+            "generate", "--suite", "tpch", "--sf", "0.001", "--kind", "null",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "lineitem" in out
+        assert "region" in out
+
+    def test_telemetry_state_reset_after_run(self, tmp_path):
+        trace = str(tmp_path / "trace.jsonl")
+        _generate(tmp_path, "--trace", trace)
+        assert obs.active_tracer() is None
+        assert obs.active_metrics() is None
+
+
+class TestStatsSubcommand:
+    def test_trace_summary(self, tmp_path, capsys):
+        trace = str(tmp_path / "trace.jsonl")
+        _generate(tmp_path, "--trace", trace)
+        capsys.readouterr()
+        assert main(["stats", "--trace", trace]) == 0
+        out = capsys.readouterr().out
+        assert "scheduler.run" in out
+        assert "scheduler.package" in out
+
+    def test_model_generator_listing(self, capsys):
+        assert main([
+            "stats", "--suite", "tpch", "--sf", "0.001", "--table", "region",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "-- region: 5 rows" in out
+        assert "IdGenerator" in out
+
+    def test_latency_sampling(self, capsys):
+        assert main([
+            "stats", "--suite", "tpch", "--sf", "0.001", "--table", "region",
+            "--latency", "--latency-rows", "20",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "ns" in out
+        assert "IdGenerator" in out
+
+    def test_requires_model_suite_or_trace(self, capsys):
+        assert main(["stats"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestExtractTelemetryFlags:
+    def test_extract_trace(self, tmp_path):
+        from repro.suites.imdb import build_imdb_database
+
+        source = str(tmp_path / "source.db")
+        build_imdb_database(source, movies=20, people=30, seed=13).close()
+        trace = str(tmp_path / "extract.jsonl")
+        assert main([
+            "extract", source, "-o", str(tmp_path / "proj"), "--trace", trace,
+        ]) == 0
+        names = {record.name for record in obs.read_trace_jsonl(trace)}
+        assert "extraction.schema" in names
+        assert "model.build" in names

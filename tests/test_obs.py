@@ -1,0 +1,333 @@
+"""Unit tests for the observability subsystem: tracing spans, the
+metrics registry, and the exporters."""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro import obs
+from repro.exceptions import ReproError
+from repro.obs.registry import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.trace import NOOP_SPAN, Stopwatch, Tracer
+
+
+@pytest.fixture(autouse=True)
+def _clean_obs_state():
+    obs.reset()
+    yield
+    obs.reset()
+
+
+class TestTracer:
+    def test_span_records_timing_and_thread(self):
+        tracer = Tracer()
+        with tracer.span("work", table="t") as active:
+            pass
+        assert active.seconds >= 0
+        (record,) = tracer.spans()
+        assert record.name == "work"
+        assert record.attrs == {"table": "t"}
+        assert record.thread_id == threading.get_ident()
+        assert record.duration >= 0
+        assert record.parent_id is None
+
+    def test_nesting_parents_inner_spans(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                pass
+        records = {r.name: r for r in tracer.spans()}
+        assert records["inner"].parent_id == outer.span_id
+        assert records["outer"].parent_id is None
+        assert inner.span_id != outer.span_id
+
+    def test_sibling_spans_share_parent(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("a"):
+                pass
+            with tracer.span("b"):
+                pass
+        by_name = {r.name: r for r in tracer.spans()}
+        assert by_name["a"].parent_id == outer.span_id
+        assert by_name["b"].parent_id == outer.span_id
+
+    def test_explicit_parent_crosses_threads(self):
+        tracer = Tracer()
+        with tracer.span("run") as run:
+            done = threading.Event()
+
+            def worker():
+                with tracer.span("package", parent_id=run.span_id):
+                    pass
+                done.set()
+
+            threading.Thread(target=worker).start()
+            assert done.wait(5)
+        by_name = {r.name: r for r in tracer.spans()}
+        assert by_name["package"].parent_id == run.span_id
+
+    def test_exception_is_recorded_and_reraised(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError):
+            with tracer.span("bad"):
+                raise ValueError("boom")
+        (record,) = tracer.spans()
+        assert record.attrs["error"] == "ValueError"
+
+    def test_set_attaches_attributes(self):
+        tracer = Tracer()
+        with tracer.span("s") as active:
+            active.set(rows=10, bytes=200)
+        (record,) = tracer.spans()
+        assert record.attrs == {"rows": 10, "bytes": 200}
+
+    def test_per_thread_stacks_do_not_interfere(self):
+        tracer = Tracer()
+        barrier = threading.Barrier(4)
+
+        def worker(name: str):
+            barrier.wait()
+            for _ in range(50):
+                with tracer.span(name):
+                    pass
+
+        threads = [
+            threading.Thread(target=worker, args=(f"w{i}",)) for i in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        records = tracer.spans()
+        assert len(records) == 200
+        assert all(r.parent_id is None for r in records)
+
+
+class TestModuleState:
+    def test_disabled_span_is_shared_noop(self):
+        assert obs.active_tracer() is None
+        span = obs.span("anything", attr=1)
+        assert span is NOOP_SPAN
+        with span as entered:
+            entered.set(ignored=True)
+        assert span.seconds == 0.0
+
+    def test_enable_records_disable_stops(self):
+        tracer = obs.enable_tracing()
+        with obs.span("seen"):
+            pass
+        obs.disable_tracing()
+        with obs.span("unseen"):
+            pass
+        assert [r.name for r in tracer.spans()] == ["seen"]
+
+    def test_timed_measures_even_when_disabled(self):
+        with obs.timed("phase") as phase:
+            sum(range(1000))
+        assert isinstance(phase, Stopwatch)
+        assert phase.seconds > 0
+
+    def test_timed_records_span_when_enabled(self):
+        tracer = obs.enable_tracing()
+        with obs.timed("phase") as phase:
+            pass
+        assert phase.seconds >= 0
+        assert [r.name for r in tracer.spans()] == ["phase"]
+
+
+class TestCounter:
+    def test_inc_and_value(self):
+        counter = Counter("c")
+        counter.inc()
+        counter.inc(5)
+        assert counter.value() == 6
+
+    def test_labels_are_independent(self):
+        counter = Counter("c")
+        counter.inc(2, table="a")
+        counter.inc(3, table="b")
+        assert counter.value(table="a") == 2
+        assert counter.value(table="b") == 3
+        assert counter.total() == 5
+
+    def test_bound_counter_fast_path(self):
+        counter = Counter("c")
+        bound = counter.labels(table="t")
+        for _ in range(10):
+            bound.inc()
+        assert counter.value(table="t") == 10
+
+    def test_negative_increment_rejected(self):
+        with pytest.raises(ReproError):
+            Counter("c").inc(-1)
+
+    def test_concurrent_increments_lose_nothing(self):
+        counter = Counter("c")
+        bound = counter.labels(table="t")
+
+        def worker():
+            for _ in range(1000):
+                bound.inc()
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert counter.value(table="t") == 8000
+
+
+class TestGauge:
+    def test_set_and_add(self):
+        gauge = Gauge("g")
+        gauge.set(5)
+        gauge.add(2)
+        assert gauge.value() == 7
+
+    def test_set_max_keeps_watermark(self):
+        gauge = Gauge("g")
+        gauge.set_max(3)
+        gauge.set_max(1)
+        gauge.set_max(9)
+        assert gauge.value() == 9
+
+
+class TestHistogram:
+    def test_observation_buckets(self):
+        histogram = Histogram("h", buckets=[10, 100, 1000])
+        for value in (5, 50, 500, 5000):
+            histogram.observe(value)
+        snap = histogram.snapshot()
+        assert snap["count"] == 4
+        assert snap["sum"] == 5555
+        # cumulative: <=10, <=100, <=1000, +Inf
+        assert snap["buckets"] == [1, 2, 3, 4]
+
+    def test_boundary_lands_in_its_bucket(self):
+        histogram = Histogram("h", buckets=[10, 100])
+        histogram.observe(10)
+        assert histogram.snapshot()["buckets"] == [1, 1, 1]
+
+    def test_labels(self):
+        histogram = Histogram("h", buckets=[1])
+        histogram.labels(table="a").observe(0.5)
+        histogram.observe(2.0, table="b")
+        assert histogram.snapshot(table="a")["count"] == 1
+        assert histogram.snapshot(table="b")["buckets"] == [0, 1]
+
+    def test_empty_bounds_rejected(self):
+        with pytest.raises(ReproError):
+            Histogram("h", buckets=[])
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_metric(self):
+        registry = MetricsRegistry()
+        assert registry.counter("x") is registry.counter("x")
+
+    def test_kind_mismatch_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(ReproError):
+            registry.gauge("x")
+
+    def test_metrics_sorted_by_name(self):
+        registry = MetricsRegistry()
+        registry.counter("zeta")
+        registry.gauge("alpha")
+        assert [m.name for m in registry.metrics()] == ["alpha", "zeta"]
+
+    def test_process_global_enable_disable(self):
+        assert obs.active_metrics() is None
+        registry = obs.enable_metrics()
+        assert obs.active_metrics() is registry
+        obs.disable_metrics()
+        assert obs.active_metrics() is None
+
+
+class TestExporters:
+    def test_trace_jsonl_round_trip(self, tmp_path):
+        tracer = obs.enable_tracing()
+        with obs.span("outer", table="t"):
+            with obs.span("inner"):
+                pass
+        path = str(tmp_path / "trace.jsonl")
+        written = obs.write_trace_jsonl(tracer, path)
+        assert written == 2
+        records = obs.read_trace_jsonl(path)
+        assert [r.name for r in records] == ["inner", "outer"]
+        by_name = {r.name: r for r in records}
+        assert by_name["inner"].parent_id == by_name["outer"].span_id
+        assert by_name["outer"].attrs == {"table": "t"}
+
+    def test_trace_jsonl_lines_are_json(self, tmp_path):
+        tracer = obs.enable_tracing()
+        with obs.span("s"):
+            pass
+        path = str(tmp_path / "trace.jsonl")
+        obs.write_trace_jsonl(tracer, path)
+        lines = [json.loads(line) for line in open(path, encoding="utf-8")]
+        assert lines[0]["event"] == "meta"
+        assert lines[1]["event"] == "span"
+
+    def test_read_rejects_garbage(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("not json\n")
+        with pytest.raises(ReproError):
+            obs.read_trace_jsonl(str(path))
+
+    def test_prometheus_rendering(self):
+        registry = MetricsRegistry()
+        registry.counter("rows_total", "rows").inc(7, table="t")
+        registry.gauge("depth").set(3)
+        registry.histogram("lat", buckets=[1.0, 2.0]).observe(1.5)
+        text = obs.render_prometheus(registry)
+        assert "# TYPE rows_total counter" in text
+        assert 'rows_total{table="t"} 7' in text
+        assert "# HELP rows_total rows" in text
+        assert "depth 3" in text
+        assert 'lat_bucket{le="+Inf"} 1' in text
+        assert "lat_count 1" in text
+        assert "lat_sum 1.5" in text
+
+    def test_prometheus_histogram_buckets_cumulative(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("h", buckets=[10.0, 100.0])
+        histogram.observe(5)
+        histogram.observe(50)
+        text = obs.render_prometheus(registry)
+        assert 'h_bucket{le="10.0"} 1' in text
+        assert 'h_bucket{le="100.0"} 2' in text
+        assert 'h_bucket{le="+Inf"} 2' in text
+
+    def test_aggregate_spans_orders_by_total(self):
+        tracer = obs.enable_tracing()
+        for _ in range(3):
+            with obs.span("fast"):
+                pass
+        aggregates = obs.aggregate_spans(tracer.spans())
+        assert aggregates[0].name == "fast"
+        assert aggregates[0].count == 3
+        assert aggregates[0].mean_seconds >= 0
+
+    def test_summary_lines(self):
+        registry = obs.enable_metrics()
+        tracer = obs.enable_tracing()
+        registry.counter("rows_generated_total").inc(42, table="t")
+        with obs.span("scheduler.run"):
+            pass
+        lines = obs.summary_lines(registry, tracer)
+        text = "\n".join(lines)
+        assert "rows_generated_total" in text
+        assert "scheduler.run" in text
+
+    def test_write_metrics_text(self, tmp_path):
+        registry = obs.enable_metrics()
+        registry.counter("c").inc()
+        path = str(tmp_path / "metrics.prom")
+        obs.write_metrics_text(registry, path)
+        assert "c 1" in open(path, encoding="utf-8").read()

@@ -1,0 +1,105 @@
+"""ProgressMonitor satellite tests: callback rate-limiting, lossless
+concurrent accounting, and uniform tracking of undeclared tables."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.scheduler.progress import ProgressMonitor
+
+
+class TestCallbackRateLimiting:
+    def test_min_interval_suppresses_bursts(self):
+        seen = []
+        monitor = ProgressMonitor(1000, callback=seen.append, min_interval=3600)
+        for _ in range(100):
+            monitor.add("t", 1, 1)
+        assert len(seen) <= 1
+
+    def test_zero_interval_fires_every_add(self):
+        seen = []
+        monitor = ProgressMonitor(10, callback=seen.append, min_interval=0.0)
+        for _ in range(10):
+            monitor.add("t", 1, 1)
+        assert len(seen) == 10
+
+    def test_fires_again_after_interval_elapses(self):
+        seen = []
+        monitor = ProgressMonitor(10, callback=seen.append, min_interval=0.01)
+        monitor.add("t", 1, 1)
+        time.sleep(0.02)
+        monitor.add("t", 1, 1)
+        assert len(seen) == 2
+
+    def test_callback_sees_consistent_snapshot(self):
+        snapshots = []
+        monitor = ProgressMonitor(100, callback=snapshots.append, min_interval=0.0)
+        monitor.add("t", 40, 4096)
+        assert snapshots[0].rows_done == 40
+        assert snapshots[0].bytes_written == 4096
+
+
+class TestConcurrentAccounting:
+    def test_no_rows_or_bytes_lost(self):
+        monitor = ProgressMonitor(8 * 1000, table_totals={"a": 4000, "b": 4000})
+        barrier = threading.Barrier(8)
+
+        def worker(index: int):
+            table = "a" if index % 2 == 0 else "b"
+            barrier.wait()
+            for _ in range(1000):
+                monitor.add(table, 1, 3)
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        snapshot = monitor.snapshot()
+        assert snapshot.rows_done == 8000
+        assert snapshot.bytes_written == 24000
+        assert monitor.table_progress() == {"a": (4000, 4000), "b": (4000, 4000)}
+
+    def test_concurrent_adds_with_callback(self):
+        seen = []
+        monitor = ProgressMonitor(4000, callback=seen.append, min_interval=0.0)
+
+        def worker():
+            for _ in range(500):
+                monitor.add("t", 1, 1)
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert monitor.snapshot().rows_done == 4000
+        assert len(seen) == 4000
+
+
+class TestUnknownTableTracking:
+    def test_unknown_table_counted_without_totals(self):
+        monitor = ProgressMonitor(100)  # no table_totals at all
+        monitor.add("surprise", 10, 100)
+        assert monitor.table_progress() == {"surprise": (10, 0)}
+
+    def test_unknown_table_counted_alongside_known(self):
+        monitor = ProgressMonitor(100, table_totals={"known": 50})
+        monitor.add("known", 5, 10)
+        monitor.add("unknown", 7, 10)
+        progress = monitor.table_progress()
+        assert progress["known"] == (5, 50)
+        assert progress["unknown"] == (7, 0)
+
+    def test_unknown_table_accumulates(self):
+        monitor = ProgressMonitor(100, table_totals={"known": 50})
+        monitor.add("unknown", 7, 10)
+        monitor.add("unknown", 3, 10)
+        assert monitor.table_progress()["unknown"] == (10, 0)
+
+    def test_declared_tables_always_present(self):
+        monitor = ProgressMonitor(100, table_totals={"a": 60, "b": 40})
+        monitor.add("a", 1, 1)
+        assert monitor.table_progress() == {"a": (1, 60), "b": (0, 40)}
