@@ -210,13 +210,20 @@ def _cmd_generate(args: argparse.Namespace) -> int:
             engine.sizes,
             callback=print_progress if not args.quiet else None,
         )
-        report = generate(engine, output, workers=args.workers, progress=progress)
+        report = generate(
+            engine,
+            output,
+            workers=args.workers,
+            progress=progress,
+            backend=args.backend,
+            inflight_extra=args.inflight_extra,
+        )
         if not args.quiet:
             print(file=sys.stderr)
         print(
             f"{report.rows:,} rows, {report.bytes_written / 1048576:.2f} MiB "
             f"in {report.seconds:.2f} s ({report.mb_per_second:.2f} MB/s, "
-            f"{args.workers} workers)"
+            f"{args.workers} {report.backend} workers)"
         )
         if not args.quiet:
             for table in report.tables:
@@ -395,6 +402,21 @@ def build_parser() -> argparse.ArgumentParser:
     gen.add_argument("--delimiter", default="|")
     gen.add_argument("--header", action="store_true")
     gen.add_argument("-w", "--workers", type=int, default=1)
+    gen.add_argument(
+        "--backend",
+        choices=("thread", "process"),
+        default="thread",
+        help="worker pool kind: threads (default; GIL-bound for CPU work) "
+        "or processes (true multicore scale-up)",
+    )
+    gen.add_argument(
+        "--inflight-extra",
+        type=int,
+        default=2,
+        metavar="K",
+        help="bounded delivery window is workers+K undelivered packages "
+        "(backpressure; default 2)",
+    )
     gen.add_argument("-q", "--quiet", action="store_true")
     _add_telemetry_args(gen)
     gen.set_defaults(func=_cmd_generate)

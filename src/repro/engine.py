@@ -140,6 +140,18 @@ class GenerationEngine:
         # and one None check when they are off.
         self._obs_instruments: tuple | None = None
 
+    def __reduce__(self):
+        """Pickle as (schema, artifacts, update) and rebuild on load.
+
+        Bound generators hold thread-locals and closure state that must
+        not cross process boundaries; reconstructing from the model is
+        the meta scheduler's per-node bootstrap and — because generation
+        is seed-addressed — yields a byte-identical engine. This is what
+        lets the process-pool scheduler backend ship the engine to
+        worker processes.
+        """
+        return (GenerationEngine, (self.schema, self.artifacts, self.update))
+
     # -- contexts ----------------------------------------------------------
 
     def new_context(self, table_name: str) -> GenerationContext:

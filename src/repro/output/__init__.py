@@ -5,6 +5,7 @@ from repro.output.sinks import (
     CallbackSink,
     FileSink,
     GzipFileSink,
+    InFlightWindow,
     MemorySink,
     NullSink,
     OrderedSinkMux,
@@ -26,6 +27,7 @@ __all__ = [
     "CallbackSink",
     "FileSink",
     "GzipFileSink",
+    "InFlightWindow",
     "MemorySink",
     "NullSink",
     "OrderedSinkMux",

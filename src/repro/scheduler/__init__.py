@@ -1,8 +1,16 @@
-"""Scheduling: work packages, thread scheduler, multi-node meta scheduler."""
+"""Scheduling: work packages, thread/process scheduler, multi-node meta
+scheduler."""
 
 from repro.scheduler.meta import ClusterReport, MetaScheduler, NodeReport, run_node
 from repro.scheduler.progress import ProgressMonitor, ProgressSnapshot
-from repro.scheduler.scheduler import RunReport, Scheduler, TableReport, generate
+from repro.scheduler.scheduler import (
+    BACKENDS,
+    DEFAULT_INFLIGHT_EXTRA,
+    RunReport,
+    Scheduler,
+    TableReport,
+    generate,
+)
 from repro.scheduler.work import (
     DEFAULT_PACKAGE_SIZE,
     WorkPackage,
@@ -12,6 +20,8 @@ from repro.scheduler.work import (
 )
 
 __all__ = [
+    "BACKENDS",
+    "DEFAULT_INFLIGHT_EXTRA",
     "ClusterReport",
     "MetaScheduler",
     "NodeReport",

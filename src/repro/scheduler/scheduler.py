@@ -1,4 +1,4 @@
-"""Single-node scheduler: work packages over a thread pool.
+"""Single-node scheduler: work packages over a thread or process pool.
 
 "The scheduler assigns work packages to the workers. ... Whenever a work
 package is generated, it is sent to the output system, where it can be
@@ -6,26 +6,50 @@ formatted and sorted" (paper §2). Workers format their package into a
 private buffer (own writer, own formatter cache) and hand the finished
 chunk to the ordered mux, which restores row order per table.
 
+Two execution backends share one dispatch discipline:
+
+* ``backend="thread"`` — workers are threads in this process. CPython's
+  GIL serializes CPU-bound generation, so threads document the paper's
+  Figure 5 shape but cannot reproduce its speedup.
+* ``backend="process"`` — workers are OS processes, each rebuilding the
+  engine from the pickled model (the meta scheduler's per-node
+  bootstrap); finished chunks stream back to the parent, which writes
+  them to the sinks in order. Seed-addressed generation makes this safe:
+  any row is recomputable in any process with identical bytes.
+
+Both backends dispatch through a bounded :class:`InFlightWindow`
+(``workers + inflight_extra`` slots): a package is only handed to a
+worker once a slot is free, and a slot is only freed when the package's
+chunk reaches its sink. That caps the memory held in
+finished-but-undelivered chunks regardless of table size, replacing the
+old submit-everything-upfront futures list.
+
 Every run is instrumented: a ``scheduler.run`` span wraps the whole
-generation, each work package runs under a ``scheduler.package`` span,
-and the active metrics registry receives rows/bytes/package counters and
-per-value latency samples, all labelled per table. The per-table
-rollup always feeds the extended :class:`RunReport` — telemetry only
-controls whether it is *also* exported.
+generation, each work package runs under a ``scheduler.package`` span
+(thread backend; process workers trace into their own interpreter, so
+the parent records only sink writes), and the active metrics registry
+receives rows/bytes/package counters and per-value latency samples, all
+labelled per table — worker processes report their counters back over
+the result queue so cross-process runs fill the same registry shapes.
+The per-table rollup always feeds the extended :class:`RunReport` —
+telemetry only controls whether it is *also* exported.
 """
 
 from __future__ import annotations
 
+import multiprocessing
 import threading
 import time
+import traceback
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
+from queue import Empty
 
 from repro.engine import GenerationEngine
 from repro.metrics import throughput_mb_per_s
 from repro.obs import active_metrics, span
 from repro.output.config import OutputConfig
-from repro.output.sinks import OrderedSinkMux, Sink
+from repro.output.sinks import InFlightWindow, OrderedSinkMux, Sink
 from repro.scheduler.progress import ProgressMonitor
 from repro.scheduler.work import DEFAULT_PACKAGE_SIZE, WorkPackage, partition_rows
 
@@ -35,6 +59,13 @@ _VALUE_LATENCY_BUCKETS_NS = (
     10_000.0, 25_000.0, 50_000.0, 100_000.0,
 )
 
+#: extra in-flight slots beyond the worker count (the ``k`` of the
+#: ``workers + k`` delivery window) — enough to keep workers busy while
+#: the parent flushes, small enough to bound buffered chunks.
+DEFAULT_INFLIGHT_EXTRA = 2
+
+BACKENDS = ("thread", "process")
+
 
 @dataclass(frozen=True)
 class TableReport:
@@ -42,7 +73,8 @@ class TableReport:
 
     ``seconds`` sums the package generation time spent on this table
     across all workers (CPU-seconds, not wall clock — with N workers it
-    may exceed the run's elapsed time).
+    may exceed the run's elapsed time). ``bytes_written`` includes the
+    table's header/footer bytes, so table reports sum to the run total.
     """
 
     name: str
@@ -68,6 +100,7 @@ class RunReport:
     seconds: float
     workers: int
     tables: tuple[TableReport, ...] = field(default=())
+    backend: str = "thread"
 
     @property
     def rows_per_second(self) -> float:
@@ -124,13 +157,94 @@ class _TableInstruments:
             "per-value generate+format latency sampled per package, ns",
         ).labels(table=table)
 
+    def record_package(
+        self, rows: int, chunk_len: int, elapsed: float,
+        fmt_hits: int, fmt_misses: int, columns: int,
+    ) -> None:
+        """Apply one finished package's counters (any backend)."""
+        self.rows.inc(rows)
+        self.bytes.inc(chunk_len)
+        self.packages.inc()
+        if fmt_hits:
+            self.fmt_hits.inc(fmt_hits)
+        if fmt_misses:
+            self.fmt_misses.inc(fmt_misses)
+        values = rows * columns
+        if values:
+            self.latency.observe(elapsed / values * 1e9)
+
+
+def _mp_context():
+    """Fork where available (cheap engine inheritance), else default.
+
+    Under spawn the engine crosses via :meth:`GenerationEngine.__reduce__`
+    — pickled as its model and rebuilt in the child — so both start
+    methods yield identical workers.
+    """
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        return multiprocessing.get_context()
+
+
+def _process_worker_main(
+    engine: GenerationEngine,
+    output: OutputConfig,
+    task_queue,
+    result_queue,
+) -> None:
+    """Worker-process body: generate and format packages locally.
+
+    Receives :class:`WorkPackage` items until a ``None`` sentinel;
+    streams ``("ok", table, sequence, chunk, rows, seconds, fmt_hits,
+    fmt_misses)`` tuples back. Failures surface as an ``("error", ...)``
+    message instead of killing the run silently.
+    """
+    # A forked child inherits the parent's tracer/metrics; recording into
+    # the copy would be invisible, so telemetry is off in workers and the
+    # parent accounts for packages from the result messages.
+    from repro import obs
+
+    obs.reset()
+    try:
+        while True:
+            package = task_queue.get()
+            if package is None:
+                return
+            started = time.perf_counter()
+            bound = engine.bound_table(package.table)
+            writer = output.new_writer(package.table, bound.column_names)
+            ctx = engine.new_context(package.table)
+            parts: list[str] = []
+            generate_row = bound.generate_row
+            write_row = writer.write_row
+            for row in range(package.start, package.stop):
+                parts.append(write_row(generate_row(row, ctx)))
+            chunk = "".join(parts)
+            elapsed = time.perf_counter() - started
+            formatter = writer.formatter
+            result_queue.put((
+                "ok", package.table, package.sequence, chunk, package.rows,
+                elapsed, formatter.cache_hits, formatter.cache_misses,
+            ))
+    except BaseException as exc:  # noqa: BLE001 - forwarded to the parent
+        result_queue.put(("error", type(exc).__name__, str(exc),
+                          traceback.format_exc()))
+
 
 class Scheduler:
     """Generates every table of an engine's model onto sinks.
 
-    ``workers`` is the thread count; the paper's Figure 5 sweeps it. One
-    sink (and one mux) exists per table; header/footer are written
-    outside the package stream so parallel workers never touch them.
+    ``workers`` is the pool size; the paper's Figure 5 sweeps it.
+    ``backend`` selects threads (default) or processes; both produce
+    byte-identical output. ``inflight_extra`` sizes the bounded delivery
+    window at ``workers + inflight_extra`` packages. One sink (and one
+    mux) exists per table; header/footer are written outside the package
+    stream so parallel workers never touch them.
+
+    After :meth:`run`, ``last_window`` exposes the run's
+    :class:`InFlightWindow` (its ``max_in_flight`` high-water mark is
+    the backpressure evidence tests and benchmarks assert on).
     """
 
     def __init__(
@@ -140,16 +254,29 @@ class Scheduler:
         workers: int = 1,
         package_size: int = DEFAULT_PACKAGE_SIZE,
         progress: ProgressMonitor | None = None,
+        backend: str = "thread",
+        inflight_extra: int = DEFAULT_INFLIGHT_EXTRA,
     ) -> None:
-        if workers < 1:
-            from repro.exceptions import SchedulingError
+        from repro.exceptions import SchedulingError
 
+        if workers < 1:
             raise SchedulingError(f"workers must be >= 1, got {workers}")
+        if backend not in BACKENDS:
+            raise SchedulingError(
+                f"unknown backend {backend!r} (expected one of {BACKENDS})"
+            )
+        if inflight_extra < 1:
+            raise SchedulingError(
+                f"inflight_extra must be >= 1, got {inflight_extra}"
+            )
         self.engine = engine
         self.output = output
         self.workers = workers
         self.package_size = package_size
         self.progress = progress
+        self.backend = backend
+        self.inflight_extra = inflight_extra
+        self.last_window: InFlightWindow | None = None
 
     def run(
         self,
@@ -165,15 +292,18 @@ class Scheduler:
         packages: list[tuple[WorkPackage, OrderedSinkMux]] = []
         sinks: list[Sink] = []
         muxes: dict[str, OrderedSinkMux] = {}
-        footers: list[tuple[Sink, str]] = []
+        footers: list[tuple[str, Sink, str]] = []
 
         registry = active_metrics()
         stats: dict[str, _TableStats] = {}
         instruments: dict[str, _TableInstruments] = {}
         stats_lock = threading.Lock()
+        window = InFlightWindow(self.workers + self.inflight_extra)
+        self.last_window = window
 
         with span(
-            "scheduler.run", workers=self.workers, package_size=self.package_size
+            "scheduler.run", workers=self.workers, package_size=self.package_size,
+            backend=self.backend,
         ) as run_span:
             total_rows = 0
             for name in names:
@@ -190,17 +320,20 @@ class Scheduler:
 
                 sink = self.output.new_sink(name)
                 sinks.append(sink)
-                mux = OrderedSinkMux(sink, name)
+                mux = OrderedSinkMux(sink, name, window=window)
                 muxes[name] = mux
 
                 columns = engine.bound_table(name).column_names
                 probe_writer = self.output.new_writer(name, columns)
                 header = probe_writer.header()
                 if header:
+                    # Header/footer bytes belong to the table, so that
+                    # table reports sum to the run total.
                     sink.write(header)
+                    self._count_frame_bytes(name, len(header), stats, instruments)
                 footer = probe_writer.footer()
                 if footer:
-                    footers.append((sink, footer))
+                    footers.append((name, sink, footer))
 
                 for package in partition_rows(name, share, self.package_size, offset=start):
                     packages.append((package, mux))
@@ -208,29 +341,26 @@ class Scheduler:
             run_span_id = getattr(run_span, "span_id", None)
 
             started = time.perf_counter()
-            if self.workers == 1:
+            if not packages:
+                pass
+            elif self.backend == "process":
+                self._run_process_pool(packages, muxes, stats, instruments, window)
+            elif self.workers == 1:
                 for package, mux in packages:
                     self._generate_package(
                         package, mux, stats[package.table], stats_lock,
                         instruments.get(package.table),
                     )
             else:
-                with ThreadPoolExecutor(max_workers=self.workers) as pool:
-                    futures = [
-                        pool.submit(
-                            self._generate_package, package, mux,
-                            stats[package.table], stats_lock,
-                            instruments.get(package.table), run_span_id,
-                        )
-                        for package, mux in packages
-                    ]
-                    for future in futures:
-                        future.result()  # re-raise worker exceptions
+                self._run_thread_pool(
+                    packages, stats, stats_lock, instruments, window, run_span_id
+                )
             with span("scheduler.finish"):
                 for name in names:
                     muxes[name].finish()
-                for sink, footer in footers:
+                for name, sink, footer in footers:
                     sink.write(footer)
+                    self._count_frame_bytes(name, len(footer), stats, instruments)
             elapsed = time.perf_counter() - started
 
             bytes_written = sum(sink.bytes_written for sink in sinks)
@@ -254,7 +384,63 @@ class Scheduler:
             TableReport(name, stats[name].rows, stats[name].bytes, stats[name].seconds)
             for name in names
         )
-        return RunReport(total_rows, bytes_written, elapsed, self.workers, table_reports)
+        return RunReport(
+            total_rows, bytes_written, elapsed, self.workers, table_reports,
+            self.backend,
+        )
+
+    @staticmethod
+    def _count_frame_bytes(
+        name: str,
+        count: int,
+        stats: dict[str, _TableStats],
+        instruments: dict[str, _TableInstruments],
+    ) -> None:
+        """Attribute header/footer bytes to their table's rollup."""
+        stats[name].bytes += count
+        instrument = instruments.get(name)
+        if instrument is not None:
+            instrument.bytes.inc(count)
+
+    # -- thread backend ------------------------------------------------------
+
+    def _run_thread_pool(
+        self,
+        packages: list[tuple[WorkPackage, OrderedSinkMux]],
+        stats: dict[str, _TableStats],
+        stats_lock: threading.Lock,
+        instruments: dict[str, _TableInstruments],
+        window: InFlightWindow,
+        run_span_id: int | None,
+    ) -> None:
+        """Dispatch packages to a thread pool through the bounded window.
+
+        The dispatcher acquires one window slot per package before
+        submitting it; the mux releases slots as chunks reach the sink.
+        A failing worker aborts the window so the dispatcher stops
+        instead of waiting for slots that will never free.
+        """
+
+        def body(package: WorkPackage, mux: OrderedSinkMux, instrument) -> None:
+            try:
+                self._generate_package(
+                    package, mux, stats[package.table], stats_lock,
+                    instrument, run_span_id,
+                )
+            except BaseException:
+                window.abort()
+                raise
+
+        futures = []
+        with ThreadPoolExecutor(max_workers=self.workers) as pool:
+            for package, mux in packages:
+                if not window.acquire():
+                    break  # a worker failed; its future re-raises below
+                futures.append(
+                    pool.submit(body, package, mux, instruments.get(package.table))
+                )
+        for future in futures:
+            future.result()  # re-raise worker exceptions
 
     def _generate_package(
         self,
@@ -287,19 +473,110 @@ class Scheduler:
             stats.bytes += len(chunk)
             stats.seconds += elapsed
         if instruments is not None:
-            instruments.rows.inc(package.rows)
-            instruments.bytes.inc(len(chunk))
-            instruments.packages.inc()
             formatter = writer.formatter
-            if formatter.cache_hits:
-                instruments.fmt_hits.inc(formatter.cache_hits)
-            if formatter.cache_misses:
-                instruments.fmt_misses.inc(formatter.cache_misses)
-            values = package.rows * len(bound.column_names)
-            if values:
-                instruments.latency.observe(elapsed / values * 1e9)
+            instruments.record_package(
+                package.rows, len(chunk), elapsed,
+                formatter.cache_hits, formatter.cache_misses,
+                len(bound.column_names),
+            )
         if self.progress is not None:
             self.progress.add(package.table, package.rows, len(chunk))
+
+    # -- process backend -----------------------------------------------------
+
+    def _run_process_pool(
+        self,
+        packages: list[tuple[WorkPackage, OrderedSinkMux]],
+        muxes: dict[str, OrderedSinkMux],
+        stats: dict[str, _TableStats],
+        instruments: dict[str, _TableInstruments],
+        window: InFlightWindow,
+    ) -> None:
+        """Stream packages through worker processes, flushing in order.
+
+        The parent is the only writer: it dispatches a package whenever
+        the delivery window has a free slot, receives finished chunks
+        over the result queue, and feeds them to the per-table muxes
+        (which release window slots as chunks hit the sinks). Because
+        dispatch follows sequence order, at most ``workers +
+        inflight_extra`` chunks are ever buffered, no matter how large
+        the run is.
+        """
+        from repro.exceptions import SchedulingError
+
+        total = len(packages)
+        context = _mp_context()
+        task_queue = context.Queue()
+        result_queue = context.Queue()
+        count = min(self.workers, total)
+        workers = [
+            context.Process(
+                target=_process_worker_main,
+                args=(self.engine, self.output, task_queue, result_queue),
+                daemon=True,
+            )
+            for _ in range(count)
+        ]
+        for worker in workers:
+            worker.start()
+        column_counts = {
+            name: len(self.engine.bound_table(name).column_names) for name in muxes
+        }
+        try:
+            next_index = 0
+            completed = 0
+            while completed < total:
+                while next_index < total and window.try_acquire():
+                    task_queue.put(packages[next_index][0])
+                    next_index += 1
+                try:
+                    message = result_queue.get(timeout=1.0)
+                except Empty:
+                    crashed = [
+                        worker.exitcode for worker in workers
+                        if not worker.is_alive() and worker.exitcode not in (0, None)
+                    ]
+                    if crashed:
+                        raise SchedulingError(
+                            f"generation worker process died with exit code "
+                            f"{crashed[0]}"
+                        ) from None
+                    if not any(worker.is_alive() for worker in workers):
+                        raise SchedulingError(
+                            "all generation worker processes exited before "
+                            "the run completed"
+                        ) from None
+                    continue
+                if message[0] == "error":
+                    _, kind, text, trace = message
+                    raise SchedulingError(
+                        f"generation worker failed: {kind}: {text}\n{trace}"
+                    )
+                _, table, sequence, chunk, rows, elapsed, hits, misses = message
+                muxes[table].submit(sequence, chunk)
+                table_stats = stats[table]
+                table_stats.rows += rows
+                table_stats.bytes += len(chunk)
+                table_stats.seconds += elapsed
+                instrument = instruments.get(table)
+                if instrument is not None:
+                    instrument.record_package(
+                        rows, len(chunk), elapsed, hits, misses,
+                        column_counts[table],
+                    )
+                if self.progress is not None:
+                    self.progress.add(table, rows, len(chunk))
+                completed += 1
+        finally:
+            for _ in workers:
+                task_queue.put(None)
+            for worker in workers:
+                worker.join(timeout=10)
+                if worker.is_alive():  # pragma: no cover - defensive cleanup
+                    worker.terminate()
+                    worker.join(timeout=10)
+            task_queue.close()
+            result_queue.close()
 
 
 def generate(
@@ -309,8 +586,11 @@ def generate(
     package_size: int = DEFAULT_PACKAGE_SIZE,
     tables: list[str] | None = None,
     progress: ProgressMonitor | None = None,
+    backend: str = "thread",
+    inflight_extra: int = DEFAULT_INFLIGHT_EXTRA,
 ) -> RunReport:
     """One-call generation entry point (the public API convenience)."""
     return Scheduler(
-        engine, output or OutputConfig(), workers, package_size, progress
+        engine, output or OutputConfig(), workers, package_size, progress,
+        backend, inflight_extra,
     ).run(tables)

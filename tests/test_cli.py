@@ -87,6 +87,18 @@ class TestGenerate:
                      "--kind", "null", "-q", "-w", "2"]) == 0
         assert "MB/s" in capsys.readouterr().out
 
+    def test_generate_process_backend(self, capsys):
+        assert main(["generate", "--suite", "tpch", "--sf", "0.0005",
+                     "--kind", "null", "-q", "-w", "2",
+                     "--backend", "process", "--inflight-extra", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "process workers" in out
+
+    def test_generate_backend_rejects_unknown(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["generate", "--suite", "tpch", "--kind", "null",
+                  "--backend", "fiber"])
+
     def test_generate_sqlite(self, project_dir, tmp_path):
         db_path = str(tmp_path / "target.db")
         assert main(["generate", "--model", project_dir, "--kind", "sqlite",

@@ -6,6 +6,7 @@ import datetime
 import json
 import os
 import sqlite3
+import threading
 import xml.etree.ElementTree as ET
 
 import pytest
@@ -16,9 +17,11 @@ from repro.output.rows import ValueFormatter
 from repro.output.sinks import (
     CallbackSink,
     FileSink,
+    InFlightWindow,
     MemorySink,
     NullSink,
     OrderedSinkMux,
+    Sink,
     SQLiteSink,
 )
 from repro.output.writers import (
@@ -225,6 +228,27 @@ class TestSinks:
             with pytest.raises(OutputError):
                 sink.write("NOT SQL AT ALL;")
 
+    def test_sqlite_sink_concurrent_writers_count_bytes(self, tmp_path):
+        # Several muxes can share one database sink; ``bytes_written``
+        # must be updated inside the sink's lock or concurrent ``+=``
+        # increments get lost.
+        with SQLiteSink(str(tmp_path / "db3.sqlite")) as sink:
+            sink.write("CREATE TABLE t (x INTEGER);")
+            base = sink.bytes_written
+            chunk = "INSERT INTO t VALUES (1);"
+            writes_per_thread = 50
+
+            def hammer():
+                for _ in range(writes_per_thread):
+                    sink.write(chunk)
+
+            threads = [threading.Thread(target=hammer) for _ in range(8)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            assert sink.bytes_written - base == 8 * writes_per_thread * len(chunk)
+
 
 class TestOrderedSinkMux:
     def test_in_order_passthrough(self):
@@ -255,6 +279,134 @@ class TestOrderedSinkMux:
         mux.submit(1, "b")
         with pytest.raises(OutputError, match="never arrived"):
             mux.finish()
+
+    def test_stale_sequence_rejected(self):
+        mux = OrderedSinkMux(MemorySink())
+        mux.submit(0, "a")
+        mux.submit(1, "b")
+        with pytest.raises(OutputError, match="duplicate"):
+            mux.submit(0, "late replay")
+
+    def test_max_pending_watermark(self):
+        mux = OrderedSinkMux(MemorySink())
+        mux.submit(3, "d")
+        mux.submit(2, "c")
+        mux.submit(1, "b")
+        assert mux.max_pending == 3
+        mux.submit(0, "a")  # flushes all four
+        mux.finish()
+        assert mux.max_pending == 4
+
+
+class _FlakySink(Sink):
+    """Raises OutputError on the Nth write (disk-full simulation)."""
+
+    def __init__(self, fail_on_call: int) -> None:
+        super().__init__()
+        self.calls = 0
+        self.fail_on_call = fail_on_call
+        self.written: list[str] = []
+
+    def write(self, chunk: str) -> None:
+        self.calls += 1
+        if self.calls == self.fail_on_call:
+            raise OutputError("disk full")
+        self.written.append(chunk)
+        self.bytes_written += len(chunk)
+
+
+class TestOrderedSinkMuxFailure:
+    """A sink failure must surface as the original error, not as a
+    misleading duplicate/never-arrived complaint on later packages."""
+
+    def test_original_error_propagates(self):
+        mux = OrderedSinkMux(_FlakySink(fail_on_call=1))
+        with pytest.raises(OutputError, match="disk full"):
+            mux.submit(0, "a")
+
+    def test_later_submits_reraise_first_failure(self):
+        mux = OrderedSinkMux(_FlakySink(fail_on_call=1))
+        with pytest.raises(OutputError, match="disk full"):
+            mux.submit(0, "a")
+        # Without failure recording this raised "duplicate work package".
+        with pytest.raises(OutputError, match="disk full"):
+            mux.submit(1, "b")
+
+    def test_finish_reraises_first_failure(self):
+        mux = OrderedSinkMux(_FlakySink(fail_on_call=1))
+        with pytest.raises(OutputError, match="disk full"):
+            mux.submit(0, "a")
+        # Without failure recording this raised "never arrived".
+        with pytest.raises(OutputError, match="disk full"):
+            mux.finish()
+
+    def test_failure_mid_flush_keeps_timing_and_counts(self):
+        sink = _FlakySink(fail_on_call=2)
+        mux = OrderedSinkMux(sink)
+        mux.submit(1, "b")
+        with pytest.raises(OutputError, match="disk full"):
+            mux.submit(0, "a")  # flushes "a", dies on "b"
+        assert sink.written == ["a"]
+        assert mux.flushes == 1  # the successful write is still counted
+        assert mux.write_seconds > 0  # elapsed time not lost on raise
+
+    def test_window_slots_released_for_flushed_chunks_on_failure(self):
+        window = InFlightWindow(4)
+        sink = _FlakySink(fail_on_call=2)
+        mux = OrderedSinkMux(sink, window=window)
+        assert window.acquire() and window.acquire()
+        with pytest.raises(OutputError, match="disk full"):
+            mux.submit(1, "b")
+            mux.submit(0, "a")
+        # "a" flushed -> one slot back; "b" died holding its slot.
+        assert window.in_flight == 1
+
+
+class TestInFlightWindow:
+    def test_limit_enforced(self):
+        window = InFlightWindow(2)
+        assert window.acquire()
+        assert window.acquire()
+        assert not window.try_acquire()
+        window.release()
+        assert window.try_acquire()
+        assert window.max_in_flight == 2
+
+    def test_release_clamps_at_limit(self):
+        window = InFlightWindow(2)
+        window.release(5)
+        assert window.in_flight == 0
+        assert window.acquire()
+        assert window.in_flight == 1
+
+    def test_abort_wakes_blocked_acquirer(self):
+        window = InFlightWindow(1)
+        assert window.acquire()
+        results: list[bool] = []
+        waiter = threading.Thread(target=lambda: results.append(window.acquire()))
+        waiter.start()
+        window.abort()
+        waiter.join(timeout=5)
+        assert not waiter.is_alive()
+        assert results == [False]
+        assert not window.try_acquire()
+
+    def test_invalid_limit(self):
+        with pytest.raises(OutputError):
+            InFlightWindow(0)
+
+    def test_mux_releases_on_flush(self):
+        window = InFlightWindow(3)
+        mux = OrderedSinkMux(MemorySink(), window=window)
+        for _ in range(3):
+            assert window.acquire()
+        mux.submit(2, "c")  # buffered: no release
+        assert window.in_flight == 3
+        mux.submit(0, "a")  # flushes just "a"
+        assert window.in_flight == 2
+        mux.submit(1, "b")  # flushes "b" then the buffered "c"
+        assert window.in_flight == 0
+        assert mux.max_pending <= window.limit
 
 
 class TestOutputConfig:
