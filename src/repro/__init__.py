@@ -24,7 +24,7 @@ Quickstart::
     print(report.rows, "rows at", report.mb_per_second, "MB/s")
 """
 
-from repro.engine import BoundTable, GenerationEngine
+from repro.engine import DEFAULT_GENERATION_BLOCK, BoundTable, GenerationEngine
 from repro.exceptions import (
     AdapterError,
     ConfigError,
@@ -38,6 +38,7 @@ from repro.exceptions import (
     SchedulingError,
 )
 from repro.generators import ArtifactStore
+from repro.generators.base import BindContext, GenerationContext, Generator
 from repro.model import Field, GeneratorSpec, PropertySet, Schema, Table
 from repro.output.config import OutputConfig
 from repro import obs
@@ -50,12 +51,18 @@ from repro.scheduler import (
     TableReport,
     generate,
 )
+from repro.scheduler.work import DEFAULT_PACKAGE_SIZE
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "BoundTable",
+    "DEFAULT_GENERATION_BLOCK",
+    "DEFAULT_PACKAGE_SIZE",
     "GenerationEngine",
+    "BindContext",
+    "GenerationContext",
+    "Generator",
     "AdapterError",
     "ConfigError",
     "ExtractionError",

@@ -324,7 +324,7 @@ def _sample_generator_latency(engine, table: str, rows: int = 200):
     applied per generator: each sample recomputes one cell through
     ``BoundTable.generate_value`` with rows cycling over the table.
     """
-    from repro.metrics import per_value_latency
+    from repro.obs import per_value_latency
 
     bound = engine.bound_table(table)
     ctx = engine.new_context(table)

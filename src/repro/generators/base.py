@@ -30,6 +30,7 @@ from repro.prng.xorshift import XorShift64Star
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.model.properties import PropertySet
     from repro.model.schema import Field, GeneratorSpec, Schema, Table
+    from repro.prng.blocks import SeedBlock
 
 
 def as_bool(value: object, default: bool = False) -> bool:
@@ -148,13 +149,30 @@ class GenerationContext:
     # generated earlier in the same row (field order in the model).
     row_values: list | None = None
     field_indices: dict[str, int] | None = None
+    # Filled by BoundTable.generate_rows (the batch fast path): the
+    # per-row cell seeds of the column being generated, the block's
+    # first row, and the completed columns of the current block (the
+    # column-major analogue of ``row_values`` for sibling lookups).
+    seed_block: "SeedBlock | None" = None
+    batch_start: int = 0
+    batch_columns: list | None = None
 
     def sibling(self, field_name: str) -> object:
-        values = self.row_values
-        if values is not None and self.field_indices is not None:
-            index = self.field_indices.get(field_name)
-            if index is not None and index < len(values):
-                return values[index]
+        indices = self.field_indices
+        if indices is not None:
+            index = indices.get(field_name)
+            if index is not None:
+                values = self.row_values
+                if values is not None and index < len(values):
+                    return values[index]
+                # Batch path: columns earlier in field order are already
+                # complete for the whole block.
+                columns = self.batch_columns
+                if columns is not None and index < len(columns):
+                    offset = self.row - self.batch_start
+                    column = columns[index]
+                    if 0 <= offset < len(column):
+                        return column[offset]
         if self.compute_sibling is None:
             raise GenerationError(
                 f"sibling value {field_name!r} requested outside an engine run"
@@ -190,6 +208,40 @@ class Generator(abc.ABC):
     @abc.abstractmethod
     def generate(self, ctx: GenerationContext) -> object:
         """Produce the value for the current row."""
+
+    def generate_batch(
+        self, ctx: GenerationContext, start: int, count: int
+    ) -> list:
+        """Values for rows ``[start, start + count)`` of this column.
+
+        This is the batch-first contract the engine and scheduler drive:
+        the caller sets ``ctx.seed_block`` to the block's per-row cell
+        seeds (``reseed_mixed`` inputs, one per row) and the generator
+        returns exactly *count* values, byte-identical to calling
+        :meth:`generate` once per row with the same seeds.
+
+        The default implementation *is* that per-row loop, so every
+        generator is batch-correct for free; high-volume generators
+        override it with vectorized kernels (see
+        :mod:`repro.prng.blocks`). Overrides may consult
+        ``ctx.batch_columns`` for completed sibling columns and must
+        leave ``ctx.seed_block`` as they found it.
+        """
+        seeds = ctx.seed_block
+        if seeds is None:
+            raise GenerationError(
+                f"{type(self).__name__}.generate_batch needs ctx.seed_block"
+            )
+        seed_ints = seeds.ints
+        reseed = ctx.rng.reseed_mixed
+        generate = self.generate
+        values: list = []
+        append = values.append
+        for offset in range(count):
+            ctx.row = start + offset
+            reseed(seed_ints[offset])
+            append(generate(ctx))
+        return values
 
     def describe(self) -> str:
         return type(self).__name__

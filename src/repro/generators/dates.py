@@ -13,6 +13,7 @@ import datetime
 from repro.exceptions import ModelError
 from repro.generators.base import BindContext, GenerationContext, Generator
 from repro.generators.registry import register
+from repro.prng import blocks
 
 _EPOCH = datetime.date(1970, 1, 1)
 
@@ -42,9 +43,31 @@ class DateGenerator(Generator):
             raise ModelError(f"DateGenerator: empty range [{self._min}, {self._max}]")
         self._min_ordinal = self._min.toordinal()
         self._span = self._max.toordinal() - self._min_ordinal + 1
+        # date objects are immutable, and the population window holds few
+        # distinct days relative to rows generated — memoize conversions.
+        self._ordinal_cache: dict[int, datetime.date] = {}
 
     def generate(self, ctx: GenerationContext) -> datetime.date:
         return datetime.date.fromordinal(self._min_ordinal + ctx.rng.next_long(self._span))
+
+    def generate_batch(
+        self, ctx: GenerationContext, start: int, count: int
+    ) -> list:
+        states = blocks.column_states(ctx.seed_block)
+        if states is None:
+            return super().generate_batch(ctx, start, count)
+        _, outs = blocks.xorshift_step(states)
+        cache = self._ordinal_cache
+        fromordinal = datetime.date.fromordinal
+        minimum = self._min_ordinal
+        values: list = []
+        append = values.append
+        for offset in blocks.bounded(outs, self._span):
+            value = cache.get(offset)
+            if value is None:
+                value = cache[offset] = fromordinal(minimum + offset)
+            append(value)
+        return values
 
 
 @register("TimestampGenerator")
@@ -78,3 +101,19 @@ class TimestampGenerator(Generator):
         return datetime.datetime.fromtimestamp(
             self._min_epoch + ctx.rng.next_long(self._span)
         )
+
+    def generate_batch(
+        self, ctx: GenerationContext, start: int, count: int
+    ) -> list:
+        # Epoch offsets rarely repeat (second resolution), so no memo —
+        # the win is the vectorized draw plus skipped per-row reseeds.
+        states = blocks.column_states(ctx.seed_block)
+        if states is None:
+            return super().generate_batch(ctx, start, count)
+        _, outs = blocks.xorshift_step(states)
+        minimum = self._min_epoch
+        fromtimestamp = datetime.datetime.fromtimestamp
+        return [
+            fromtimestamp(minimum + offset)
+            for offset in blocks.bounded(outs, self._span)
+        ]

@@ -14,6 +14,7 @@ from __future__ import annotations
 from repro.exceptions import GenerationError, ModelError
 from repro.generators.base import BindContext, GenerationContext, Generator
 from repro.generators.registry import register
+from repro.prng import blocks
 from repro.text.dictionary import WeightedDictionary
 
 
@@ -64,6 +65,11 @@ class DictListGenerator(Generator):
         self._domain = int(self.spec.params.get("domain", 0) or 0)
         self._by_row = as_bool(self.spec.params.get("by_row"))
         self._as_int = as_bool(self.spec.params.get("as_int"))
+        self._values = self._dictionary.values()
+        # int conversions are memoized on first batch use rather than at
+        # bind so non-numeric dictionaries fail at the same point the
+        # per-row path would.
+        self._int_values: list[int] | None = None
 
     def generate(self, ctx: GenerationContext) -> object:
         if self._by_row:
@@ -80,6 +86,38 @@ class DictListGenerator(Generator):
         # same PRNG stream, so the pair (value, suffix) is repeatable.
         domain = self._domain or max(len(self._dictionary) * 10, 1000)
         return f"{value}#{ctx.rng.next_long(domain)}"
+
+    def generate_batch(
+        self, ctx: GenerationContext, start: int, count: int
+    ) -> list:
+        values = self._values
+        if self._by_row:
+            size = len(values)
+            picked = [values[row % size] for row in range(start, start + count)]
+            if self._as_int:
+                return [int(value) for value in picked]
+            return picked
+        states = blocks.column_states(ctx.seed_block)
+        if states is None:
+            return super().generate_batch(ctx, start, count)
+        states, outs = blocks.xorshift_step(states)
+        indices = self._dictionary.sample_index_block(blocks.to_doubles(outs))
+        if self._as_int:
+            ints = self._int_values
+            if ints is None:
+                ints = self._int_values = [int(value) for value in values]
+            return [ints[index] for index in indices]
+        if not self._unique_suffix:
+            return [values[index] for index in indices]
+        # Second draw per row, continuing each cell's stream exactly as
+        # the per-row path's next_long(domain) does.
+        domain = self._domain or max(len(self._dictionary) * 10, 1000)
+        _, outs = blocks.xorshift_step(states)
+        suffixes = blocks.bounded(outs, domain)
+        return [
+            f"{values[index]}#{suffix}"
+            for index, suffix in zip(indices, suffixes)
+        ]
 
     @property
     def dictionary(self) -> WeightedDictionary:

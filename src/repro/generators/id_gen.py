@@ -28,6 +28,16 @@ class IdGenerator(Generator):
     def generate(self, ctx: GenerationContext) -> int:
         return self._base + ctx.row * self._step
 
+    def generate_batch(
+        self, ctx: GenerationContext, start: int, count: int
+    ) -> list:
+        # Pure arithmetic progression — no PRNG, no numpy needed.
+        step = self._step
+        if step == 0:
+            return [self._base] * count
+        first = self._base + start * step
+        return list(range(first, first + count * step, step))
+
 
 @register("RowFormulaGenerator")
 class RowFormulaGenerator(Generator):
@@ -57,3 +67,22 @@ class RowFormulaGenerator(Generator):
     def generate(self, ctx: GenerationContext) -> object:
         value = self._compiled({**self._base_env, "row": ctx.row})
         return int(value) if self._as_int else value
+
+    def generate_batch(
+        self, ctx: GenerationContext, start: int, count: int
+    ) -> list:
+        # Row-only formula: skip the per-row reseed entirely and reuse
+        # one environment dict across the block.
+        env = dict(self._base_env)
+        compiled = self._compiled
+        values: list = []
+        append = values.append
+        if self._as_int:
+            for row in range(start, start + count):
+                env["row"] = row
+                append(int(compiled(env)))
+        else:
+            for row in range(start, start + count):
+                env["row"] = row
+                append(compiled(env))
+        return values

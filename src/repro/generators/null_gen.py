@@ -16,6 +16,7 @@ from __future__ import annotations
 from repro.exceptions import ModelError
 from repro.generators.base import BindContext, GenerationContext, Generator
 from repro.generators.registry import register, build
+from repro.prng import blocks
 
 
 @register("NullGenerator")
@@ -44,6 +45,31 @@ class NullGenerator(Generator):
         if ctx.rng.next_double() < self._probability:
             return None
         return self._child.generate(ctx)
+
+    def generate_batch(
+        self, ctx: GenerationContext, start: int, count: int
+    ) -> list:
+        states = blocks.column_states(ctx.seed_block)
+        if states is None:
+            return super().generate_batch(ctx, start, count)
+        states, outs = blocks.xorshift_step(states)
+        nulls = (blocks.to_doubles(outs) < self._probability).tolist()
+        if all(nulls):
+            return [None] * count
+        # The advanced states *are* the child's streams: reseed_mixed on
+        # a live (never-zero) xorshift state is the identity, so handing
+        # them down as a seed block continues each row's stream exactly
+        # where the per-row path's delegation would.
+        parent_block = ctx.seed_block
+        ctx.seed_block = blocks.seed_block_from_states(states)
+        try:
+            child_values = self._child.generate_batch(ctx, start, count)
+        finally:
+            ctx.seed_block = parent_block
+        return [
+            None if is_null else value
+            for is_null, value in zip(nulls, child_values)
+        ]
 
     @property
     def child(self) -> Generator:

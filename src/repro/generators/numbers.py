@@ -10,6 +10,7 @@ from __future__ import annotations
 from repro.exceptions import ModelError
 from repro.generators.base import BindContext, GenerationContext, Generator
 from repro.generators.registry import register
+from repro.prng import blocks
 from repro.prng.distributions import Zipf, normal
 
 
@@ -41,6 +42,22 @@ class _BoundedNumberGenerator(Generator):
             rank = self._zipf.sample(ctx.rng) - 1
             return self._min + rank % self._span
         return self._min + ctx.rng.next_long(self._span)
+
+    def generate_batch(
+        self, ctx: GenerationContext, start: int, count: int
+    ) -> list:
+        states = blocks.column_states(ctx.seed_block)
+        if states is None:
+            return super().generate_batch(ctx, start, count)
+        _, outs = blocks.xorshift_step(states)
+        minimum = self._min
+        span = self._span
+        if self._zipf is not None:
+            ranks = self._zipf.sample_block(blocks.to_doubles(outs))
+            return [minimum + (rank - 1) % span for rank in ranks]
+        if minimum == 0:
+            return blocks.bounded(outs, span)
+        return [minimum + v for v in blocks.bounded(outs, span)]
 
 
 @register("LongGenerator")
@@ -97,6 +114,23 @@ class DoubleGenerator(Generator):
             value = round(value, self._places)
         return value
 
+    def generate_batch(
+        self, ctx: GenerationContext, start: int, count: int
+    ) -> list:
+        states = blocks.column_states(ctx.seed_block)
+        if states is None or self._distribution != "uniform":
+            return super().generate_batch(ctx, start, count)
+        _, outs = blocks.xorshift_step(states)
+        # Same IEEE-754 expression as the per-row path (min + u * span),
+        # evaluated elementwise — bit-identical doubles.
+        values = (self._min + blocks.to_doubles(outs) * (self._max - self._min)).tolist()
+        if self._places is None:
+            return values
+        # round() is correctly-rounded decimal rounding; numpy's round is
+        # not — keep the scalar call so output bytes match the row path.
+        places = self._places
+        return [round(value, places) for value in values]
+
 
 @register("BooleanGenerator")
 class BooleanGenerator(Generator):
@@ -111,3 +145,12 @@ class BooleanGenerator(Generator):
 
     def generate(self, ctx: GenerationContext) -> bool:
         return ctx.rng.next_double() < self._p_true
+
+    def generate_batch(
+        self, ctx: GenerationContext, start: int, count: int
+    ) -> list:
+        states = blocks.column_states(ctx.seed_block)
+        if states is None:
+            return super().generate_batch(ctx, start, count)
+        _, outs = blocks.xorshift_step(states)
+        return (blocks.to_doubles(outs) < self._p_true).tolist()

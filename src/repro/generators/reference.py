@@ -15,6 +15,7 @@ from repro.exceptions import ModelError
 from repro.generators.base import BindContext, GenerationContext, Generator
 from repro.generators.registry import register
 from repro.model.schema import GeneratorSpec
+from repro.prng import blocks
 
 
 @register("DefaultReferenceGenerator")
@@ -83,6 +84,33 @@ class DefaultReferenceGenerator(Generator):
             base, step = self._id_fastpath
             return base + row * step
         return ctx.foreign(self._table_name, self._field_name, row)
+
+    def generate_batch(
+        self, ctx: GenerationContext, start: int, count: int
+    ) -> list:
+        states = blocks.column_states(ctx.seed_block)
+        if states is None:
+            return super().generate_batch(ctx, start, count)
+        _, outs = blocks.xorshift_step(states)
+        size = self._target_size
+        if self._zipf is not None:
+            rows = [
+                (rank - 1) % size
+                for rank in self._zipf.sample_block(blocks.to_doubles(outs))
+            ]
+        else:
+            rows = blocks.bounded(outs, size)
+        if self._id_fastpath is not None:
+            base, step = self._id_fastpath
+            if step == 1:
+                return [base + row for row in rows]
+            return [base + row * step for row in rows]
+        # Non-id target: recompute each referenced cell via the engine
+        # callback (vectorized row picks, per-cell recomputation).
+        foreign = ctx.foreign
+        table_name = self._table_name
+        field_name = self._field_name
+        return [foreign(table_name, field_name, row) for row in rows]
 
     @property
     def target(self) -> tuple[str, str]:

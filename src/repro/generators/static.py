@@ -27,3 +27,8 @@ class StaticValueGenerator(Generator):
 
     def generate(self, ctx: GenerationContext) -> object:
         return self._value
+
+    def generate_batch(
+        self, ctx: GenerationContext, start: int, count: int
+    ) -> list:
+        return [self._value] * count

@@ -13,6 +13,7 @@ import string
 from repro.exceptions import ModelError
 from repro.generators.base import BindContext, GenerationContext, Generator
 from repro.generators.registry import register
+from repro.prng import blocks
 
 _DEFAULT_ALPHABET = string.ascii_lowercase
 _ALPHABETS = {
@@ -52,6 +53,44 @@ class RandomStringGenerator(Generator):
         alpha_len = self._alpha_len
         return "".join(alphabet[rng.next_long(alpha_len)] for _ in range(length))
 
+    def generate_batch(
+        self, ctx: GenerationContext, start: int, count: int
+    ) -> list:
+        states = blocks.column_states(ctx.seed_block)
+        if states is None:
+            return super().generate_batch(ctx, start, count)
+        if self._max > self._min:
+            states, outs = blocks.xorshift_step(states)
+            minimum = self._min
+            lengths = [
+                minimum + offset
+                for offset in blocks.bounded(outs, self._max - self._min + 1)
+            ]
+            max_len = max(lengths)
+        else:
+            lengths = None
+            max_len = self._min
+        alphabet = self._alphabet
+        alpha_len = self._alpha_len
+        # One vectorized step per character position; each row reads its
+        # first ``length`` draws — exactly the draws the per-row path
+        # makes, rows with shorter strings simply leave the rest unused.
+        char_columns: list[list[str]] = []
+        for _ in range(max_len):
+            states, outs = blocks.xorshift_step(states)
+            char_columns.append(
+                [alphabet[value] for value in blocks.bounded(outs, alpha_len)]
+            )
+        if lengths is None:
+            return [
+                "".join(column[offset] for column in char_columns)
+                for offset in range(count)
+            ]
+        return [
+            "".join(char_columns[pos][offset] for pos in range(length))
+            for offset, length in enumerate(lengths)
+        ]
+
 
 @register("PatternStringGenerator")
 class PatternStringGenerator(Generator):
@@ -81,3 +120,34 @@ class PatternStringGenerator(Generator):
             else:
                 out.append(ch)
         return "".join(out)
+
+    def generate_batch(
+        self, ctx: GenerationContext, start: int, count: int
+    ) -> list:
+        states = blocks.column_states(ctx.seed_block)
+        if states is None:
+            return super().generate_batch(ctx, start, count)
+        # One vectorized step per wildcard position, in pattern order —
+        # the same draw sequence every row's stream sees per-row.
+        pieces: list[object] = []
+        for ch in self._pattern:
+            if ch == "#":
+                alphabet, bound = string.digits, 10
+            elif ch == "@":
+                alphabet, bound = string.ascii_lowercase, 26
+            elif ch == "^":
+                alphabet, bound = string.ascii_uppercase, 26
+            else:
+                pieces.append(ch)
+                continue
+            states, outs = blocks.xorshift_step(states)
+            pieces.append(
+                [alphabet[value] for value in blocks.bounded(outs, bound)]
+            )
+        return [
+            "".join(
+                piece if isinstance(piece, str) else piece[offset]
+                for piece in pieces
+            )
+            for offset in range(count)
+        ]

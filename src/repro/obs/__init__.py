@@ -43,6 +43,14 @@ from repro.obs.registry import (
     disable_metrics,
     enable_metrics,
 )
+from repro.obs.timing import (
+    LatencyStats,
+    Timer,
+    per_value_latency,
+    speedup_series,
+    throughput_mb_per_s,
+    time_call,
+)
 from repro.obs.trace import (
     SpanRecord,
     Stopwatch,
@@ -65,10 +73,12 @@ __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "LatencyStats",
     "MetricsRegistry",
     "SpanAggregate",
     "SpanRecord",
     "Stopwatch",
+    "Timer",
     "Tracer",
     "active_metrics",
     "active_tracer",
@@ -77,11 +87,15 @@ __all__ = [
     "disable_tracing",
     "enable_metrics",
     "enable_tracing",
+    "per_value_latency",
     "read_trace_jsonl",
     "render_prometheus",
     "reset",
     "span",
+    "speedup_series",
     "summary_lines",
+    "throughput_mb_per_s",
+    "time_call",
     "timed",
     "trace_lines",
     "write_metrics_text",

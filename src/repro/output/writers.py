@@ -40,6 +40,17 @@ class RowWriter(abc.ABC):
     def write_row(self, values: list[object]) -> str:
         """Text for a single row, including the row terminator."""
 
+    def write_rows(self, rows: list[list[object]]) -> str:
+        """Text for a block of rows — the batch path's formatting unit.
+
+        Must be the concatenation of :meth:`write_row` over *rows* (the
+        default implementation is exactly that), so block formatting can
+        never change output bytes. Writers override it to amortize
+        per-row overhead.
+        """
+        write_row = self.write_row
+        return "".join(write_row(row) for row in rows)  # hot-loop-ok: contract fallback
+
     def footer(self) -> str:
         """Text emitted once after the last row (may be empty)."""
         return ""
@@ -81,6 +92,28 @@ class CsvWriter(RowWriter):
                 text = '"' + text.replace('"', '""') + '"'
             parts.append(text)
         return delimiter.join(parts) + self.terminator
+
+    def write_rows(self, rows: list[list[object]]) -> str:
+        # Inline the row loop only when write_row is not overridden, so
+        # subclasses customizing per-row formatting keep their behavior.
+        if type(self).write_row is not CsvWriter.write_row:
+            return super().write_rows(rows)
+        fmt = self.formatter.format
+        delimiter = self.delimiter
+        join = delimiter.join
+        terminator = self.terminator
+        chunks: list[str] = []
+        append = chunks.append
+        for values in rows:
+            parts = []
+            for value in values:
+                text = fmt(value)
+                if delimiter in text:
+                    text = '"' + text.replace('"', '""') + '"'
+                parts.append(text)
+            append(join(parts))
+            append(terminator)
+        return "".join(chunks)
 
 
 class JsonWriter(RowWriter):

@@ -1,0 +1,176 @@
+"""Vectorized seed/PRNG block kernels for the batched generation path.
+
+PDGF's per-value cost (paper Figures 7-9) is dominated, in this Python
+reproduction, by interpreter overhead: one seed derivation, one reseed,
+and one ``generate`` call per cell. The batch path amortizes that over a
+*work package*: the per-row seeds of a whole row block are derived as one
+vector operation, and the xorshift64* draws of an entire column are
+produced as array arithmetic.
+
+Everything here mirrors :mod:`repro.prng.xorshift` bit-for-bit — the
+kernels are alternative *implementations*, never alternative *streams*.
+`numpy` is optional: when it is unavailable the same functions run as
+pure-Python loops, and vectorized generators fall back to the per-row
+contract (``blocks.column_states`` returns ``None``).
+
+All arithmetic is modulo 2**64; numpy's ``uint64`` wraps natively, the
+pure-Python paths mask explicitly.
+"""
+
+from __future__ import annotations
+
+from repro.prng.xorshift import (
+    MASK64,
+    _SPLITMIX_GAMMA,
+    _SPLITMIX_MUL1,
+    _SPLITMIX_MUL2,
+    _XORSHIFT64STAR_MUL,
+    mix64,
+)
+
+try:  # pragma: no cover - exercised via HAVE_NUMPY branches
+    import numpy as _np
+except ImportError:  # pragma: no cover - container always ships numpy
+    _np = None
+
+HAVE_NUMPY = _np is not None
+
+if HAVE_NUMPY:
+    _U12 = _np.uint64(12)
+    _U25 = _np.uint64(25)
+    _U27 = _np.uint64(27)
+    _U30 = _np.uint64(30)
+    _U31 = _np.uint64(31)
+    _U11 = _np.uint64(11)
+    _GAMMA = _np.uint64(_SPLITMIX_GAMMA)
+    _MUL1 = _np.uint64(_SPLITMIX_MUL1)
+    _MUL2 = _np.uint64(_SPLITMIX_MUL2)
+    _STAR_MUL = _np.uint64(_XORSHIFT64STAR_MUL)
+
+#: multiplier converting ``u64 >> 11`` to a double in [0, 1) — identical
+#: to :meth:`~repro.prng.xorshift.XorShift64Star.next_double`.
+_DOUBLE_SCALE = 1.0 / (1 << 53)
+
+
+class SeedBlock:
+    """Per-row cell seeds for one column over a contiguous row block.
+
+    Wraps either a numpy ``uint64`` array (fast kernels) or a plain list
+    of Python ints (fallback); ``ints`` always yields Python ints so the
+    per-row fallback never leaks numpy scalars into PRNG state.
+    """
+
+    __slots__ = ("_array", "_ints")
+
+    def __init__(self, array=None, ints: list[int] | None = None) -> None:
+        if array is None and ints is None:
+            raise ValueError("SeedBlock needs an array or an int list")
+        self._array = array
+        self._ints = ints
+
+    @property
+    def array(self):
+        """The numpy ``uint64`` seed array, or ``None`` without numpy."""
+        return self._array
+
+    @property
+    def ints(self) -> list[int]:
+        """The seeds as Python ints (lazily materialized from the array)."""
+        if self._ints is None:
+            self._ints = self._array.tolist()
+        return self._ints
+
+    def __len__(self) -> int:
+        if self._array is not None:
+            return len(self._array)
+        return len(self._ints)
+
+
+def row_hash_block(start: int, count: int):
+    """``mix64(row)`` for rows ``[start, start+count)``.
+
+    One row block is hashed once and shared by every column's seeder
+    (the batch equivalent of ``BoundTable.generate_row`` hashing the row
+    once per row). Returns a numpy array or a list of ints.
+    """
+    if HAVE_NUMPY:
+        rows = _np.arange(start, start + count, dtype=_np.uint64)
+        return _splitmix_output(rows + _GAMMA)
+    return [mix64(row) for row in range(start, start + count)]
+
+
+def seed_block_from_hashes(update_seed: int, row_hashes) -> SeedBlock:
+    """Cell seeds ``mix64(update_seed ^ mix64(row))`` for a row block.
+
+    Equivalent to :meth:`ColumnSeeder.seed_from_row_hash` applied per
+    row; *row_hashes* is the output of :func:`row_hash_block`.
+    """
+    if HAVE_NUMPY and not isinstance(row_hashes, list):
+        mixed = _np.uint64(update_seed) ^ row_hashes
+        return SeedBlock(array=_splitmix_output(mixed + _GAMMA))
+    masked = update_seed & MASK64
+    return SeedBlock(ints=[mix64(masked ^ h) for h in row_hashes])
+
+
+def seed_block_from_states(states) -> SeedBlock:
+    """Wrap in-flight xorshift states as a child seed block.
+
+    Used by wrapper generators (NULL, probability) that hand the
+    *advanced* stream to a sub-generator: ``reseed_mixed(state)`` on a
+    live xorshift state is the identity, so the child block reproduces
+    exactly the stream the per-row path would have continued.
+    """
+    if HAVE_NUMPY and not isinstance(states, list):
+        return SeedBlock(array=states)
+    return SeedBlock(ints=list(states))
+
+
+def column_states(seed_block: SeedBlock | None):
+    """Initial xorshift64* states for a column block, or ``None``.
+
+    ``None`` signals "no fast path" (numpy missing or no seed block) and
+    tells vectorized generators to use the per-row fallback. Mirrors
+    ``reseed_mixed``: an (astronomically unlikely) zero seed maps to the
+    SplitMix gamma so the state is never zero.
+    """
+    if not HAVE_NUMPY or seed_block is None:
+        return None
+    array = seed_block.array
+    if array is None:
+        return None
+    return _np.where(array == 0, _GAMMA, array)
+
+
+def xorshift_step(states):
+    """Advance a block of xorshift64* states once.
+
+    Returns ``(new_states, outputs)`` — the elementwise equivalent of
+    calling :meth:`XorShift64Star.next_u64` on every state.
+    """
+    x = states
+    x = x ^ (x >> _U12)
+    x = x ^ (x << _U25)
+    x = x ^ (x >> _U27)
+    return x, x * _STAR_MUL
+
+
+def to_doubles(outputs):
+    """Map u64 outputs to doubles in [0, 1) (``next_double`` semantics)."""
+    return (outputs >> _U11).astype(_np.float64) * _DOUBLE_SCALE
+
+
+def bounded(outputs, bound: int):
+    """``next_long(bound)`` over an output block, as Python ints."""
+    return (outputs % _np.uint64(bound)).tolist()
+
+
+def _splitmix_output(state):
+    """The SplitMix64 output function over a block of advanced states.
+
+    *state* must already include the gamma increment; this computes only
+    the mixing half, i.e. ``mix64`` given ``state = value + GAMMA``.
+    """
+    z = state
+    z = (z ^ (z >> _U30)) * _MUL1
+    z = (z ^ (z >> _U27)) * _MUL2
+    return z ^ (z >> _U31)

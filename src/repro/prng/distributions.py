@@ -12,6 +12,11 @@ import bisect
 import math
 from typing import Protocol, Sequence
 
+try:  # pragma: no cover - exercised via the block-sampling branches
+    import numpy as _np
+except ImportError:  # pragma: no cover - container always ships numpy
+    _np = None
+
 
 class RandomSource(Protocol):
     """The slice of the PRNG interface distributions need."""
@@ -71,7 +76,7 @@ class Zipf:
     Benchmark.
     """
 
-    __slots__ = ("n", "s", "_cdf")
+    __slots__ = ("n", "s", "_cdf", "_cdf_array")
 
     def __init__(self, n: int, s: float = 1.0) -> None:
         if n <= 0:
@@ -89,11 +94,25 @@ class Zipf:
             cdf.append(acc)
         cdf[-1] = 1.0
         self._cdf = cdf
+        self._cdf_array = None
 
     def sample(self, rng: RandomSource) -> int:
         """Return a rank in ``[1, n]``; rank 1 is the most likely."""
         u = rng.next_double()
         return bisect.bisect_left(self._cdf, u) + 1
+
+    def sample_block(self, us) -> list[int]:
+        """Ranks for a block of uniform doubles, as Python ints.
+
+        ``searchsorted(..., side="left")`` over the same float CDF is the
+        elementwise equivalent of :meth:`sample`'s ``bisect_left``.
+        """
+        if _np is not None and not isinstance(us, list):
+            cdf = self._cdf_array
+            if cdf is None:
+                cdf = self._cdf_array = _np.asarray(self._cdf)
+            return (_np.searchsorted(cdf, us, side="left") + 1).tolist()
+        return [bisect.bisect_left(self._cdf, u) + 1 for u in us]
 
 
 def pareto(rng: RandomSource, shape: float, scale: float = 1.0) -> float:
@@ -114,7 +133,7 @@ class Categorical:
     reproduces them.
     """
 
-    __slots__ = ("values", "_cdf")
+    __slots__ = ("values", "_cdf", "_cdf_array")
 
     def __init__(self, values: Sequence[object], weights: Sequence[float] | None = None):
         if not values:
@@ -138,6 +157,7 @@ class Categorical:
             cdf.append(acc)
         cdf[-1] = 1.0
         self._cdf = cdf
+        self._cdf_array = None
 
     def __len__(self) -> int:
         return len(self.values)
@@ -148,3 +168,12 @@ class Categorical:
 
     def sample_index(self, rng: RandomSource) -> int:
         return bisect.bisect_left(self._cdf, rng.next_double())
+
+    def sample_index_block(self, us) -> list[int]:
+        """Value indices for a block of uniform doubles, as Python ints."""
+        if _np is not None and not isinstance(us, list):
+            cdf = self._cdf_array
+            if cdf is None:
+                cdf = self._cdf_array = _np.asarray(self._cdf)
+            return _np.searchsorted(cdf, us, side="left").tolist()
+        return [bisect.bisect_left(self._cdf, u) for u in us]

@@ -21,7 +21,7 @@ from dataclasses import dataclass
 from repro.engine import GenerationEngine
 from repro.exceptions import SchedulingError
 from repro.generators.base import ArtifactStore
-from repro.metrics import throughput_mb_per_s
+from repro.obs import throughput_mb_per_s
 from repro.model.schema import Schema
 from repro.output.config import OutputConfig
 from repro.scheduler.scheduler import RunReport, Scheduler
@@ -92,7 +92,10 @@ def run_node(
     """
     engine = GenerationEngine(schema, artifacts)
     ranges = node_ranges(engine.sizes, nodes, node)
-    scheduler = Scheduler(engine, output or OutputConfig(), workers, package_size)
+    scheduler = Scheduler(
+        engine, output or OutputConfig(),
+        workers=workers, package_size=package_size,
+    )
     return scheduler.run(row_ranges=ranges)
 
 

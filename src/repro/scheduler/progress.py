@@ -14,7 +14,7 @@ import time
 from dataclasses import dataclass
 from typing import Callable
 
-from repro.metrics import throughput_mb_per_s
+from repro.obs import throughput_mb_per_s
 
 
 @dataclass(frozen=True)

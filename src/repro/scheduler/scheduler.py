@@ -41,13 +41,13 @@ import multiprocessing
 import threading
 import time
 import traceback
+import warnings
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from queue import Empty
 
 from repro.engine import GenerationEngine
-from repro.metrics import throughput_mb_per_s
-from repro.obs import active_metrics, span
+from repro.obs import active_metrics, span, throughput_mb_per_s
 from repro.output.config import OutputConfig
 from repro.output.sinks import InFlightWindow, OrderedSinkMux, Sink
 from repro.scheduler.progress import ProgressMonitor
@@ -65,6 +65,44 @@ _VALUE_LATENCY_BUCKETS_NS = (
 DEFAULT_INFLIGHT_EXTRA = 2
 
 BACKENDS = ("thread", "process")
+
+#: sentinel distinguishing "not passed" from explicit values in the
+#: keyword-only configuration surface (needed by the deprecation shim).
+_UNSET = object()
+
+
+def _apply_legacy_positionals(
+    func_name: str,
+    legacy: tuple,
+    config: dict[str, object],
+) -> None:
+    """Map deprecated positional configuration onto keyword slots.
+
+    ``config`` holds the keyword-only arguments (``_UNSET`` when not
+    passed) in the old positional order. Extra positionals raise
+    ``TypeError`` like a normal signature would; a positional value plus
+    the same keyword is the usual "multiple values" error.
+    """
+    if not legacy:
+        return
+    names = tuple(config)
+    if len(legacy) > len(names):
+        raise TypeError(
+            f"{func_name}() takes at most {len(names)} configuration "
+            f"arguments ({len(legacy)} given)"
+        )
+    warnings.warn(
+        f"passing {func_name} configuration positionally is deprecated; "
+        f"use keyword arguments ({', '.join(names)})",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+    for name, value in zip(names, legacy):
+        if config[name] is not _UNSET:
+            raise TypeError(
+                f"{func_name}() got multiple values for argument {name!r}"
+            )
+        config[name] = value
 
 
 @dataclass(frozen=True)
@@ -215,12 +253,8 @@ def _process_worker_main(
             bound = engine.bound_table(package.table)
             writer = output.new_writer(package.table, bound.column_names)
             ctx = engine.new_context(package.table)
-            parts: list[str] = []
-            generate_row = bound.generate_row
-            write_row = writer.write_row
-            for row in range(package.start, package.stop):
-                parts.append(write_row(generate_row(row, ctx)))
-            chunk = "".join(parts)
+            rows = bound.generate_rows(package.start, package.stop, ctx)
+            chunk = writer.write_rows(rows)
             elapsed = time.perf_counter() - started
             formatter = writer.formatter
             result_queue.put((
@@ -251,13 +285,36 @@ class Scheduler:
         self,
         engine: GenerationEngine,
         output: OutputConfig,
-        workers: int = 1,
-        package_size: int = DEFAULT_PACKAGE_SIZE,
-        progress: ProgressMonitor | None = None,
-        backend: str = "thread",
-        inflight_extra: int = DEFAULT_INFLIGHT_EXTRA,
+        *legacy,
+        workers: int = _UNSET,  # type: ignore[assignment]
+        package_size: int = _UNSET,  # type: ignore[assignment]
+        progress: ProgressMonitor | None = _UNSET,  # type: ignore[assignment]
+        backend: str = _UNSET,  # type: ignore[assignment]
+        inflight_extra: int = _UNSET,  # type: ignore[assignment]
     ) -> None:
         from repro.exceptions import SchedulingError
+
+        # Configuration is keyword-only; the *legacy capture accepts the
+        # pre-1.1 positional order once more, with a DeprecationWarning.
+        config: dict[str, object] = {
+            "workers": workers,
+            "package_size": package_size,
+            "progress": progress,
+            "backend": backend,
+            "inflight_extra": inflight_extra,
+        }
+        _apply_legacy_positionals("Scheduler", legacy, config)
+        workers = 1 if config["workers"] is _UNSET else config["workers"]
+        package_size = (
+            DEFAULT_PACKAGE_SIZE if config["package_size"] is _UNSET
+            else config["package_size"]
+        )
+        progress = None if config["progress"] is _UNSET else config["progress"]
+        backend = "thread" if config["backend"] is _UNSET else config["backend"]
+        inflight_extra = (
+            DEFAULT_INFLIGHT_EXTRA if config["inflight_extra"] is _UNSET
+            else config["inflight_extra"]
+        )
 
         if workers < 1:
             raise SchedulingError(f"workers must be >= 1, got {workers}")
@@ -459,12 +516,8 @@ class Scheduler:
             bound = engine.bound_table(package.table)
             writer = self.output.new_writer(package.table, bound.column_names)
             ctx = engine.new_context(package.table)
-            parts: list[str] = []
-            generate_row = bound.generate_row
-            write_row = writer.write_row
-            for row in range(package.start, package.stop):
-                parts.append(write_row(generate_row(row, ctx)))
-            chunk = "".join(parts)
+            rows = bound.generate_rows(package.start, package.stop, ctx)
+            chunk = writer.write_rows(rows)
             package_span.set(bytes=len(chunk))
             mux.submit(package.sequence, chunk)
         elapsed = time.perf_counter() - started
@@ -582,15 +635,34 @@ class Scheduler:
 def generate(
     engine: GenerationEngine,
     output: OutputConfig | None = None,
-    workers: int = 1,
-    package_size: int = DEFAULT_PACKAGE_SIZE,
-    tables: list[str] | None = None,
-    progress: ProgressMonitor | None = None,
-    backend: str = "thread",
-    inflight_extra: int = DEFAULT_INFLIGHT_EXTRA,
+    *legacy,
+    workers: int = _UNSET,  # type: ignore[assignment]
+    package_size: int = _UNSET,  # type: ignore[assignment]
+    tables: list[str] | None = _UNSET,  # type: ignore[assignment]
+    progress: ProgressMonitor | None = _UNSET,  # type: ignore[assignment]
+    backend: str = _UNSET,  # type: ignore[assignment]
+    inflight_extra: int = _UNSET,  # type: ignore[assignment]
 ) -> RunReport:
-    """One-call generation entry point (the public API convenience)."""
+    """One-call generation entry point (the public API convenience).
+
+    Configuration is keyword-only; the pre-1.1 positional order is still
+    accepted with a :class:`DeprecationWarning`.
+    """
+    config: dict[str, object] = {
+        "workers": workers,
+        "package_size": package_size,
+        "tables": tables,
+        "progress": progress,
+        "backend": backend,
+        "inflight_extra": inflight_extra,
+    }
+    _apply_legacy_positionals("generate", legacy, config)
+    tables = None if config["tables"] is _UNSET else config["tables"]
+    scheduler_kwargs = {
+        name: value
+        for name, value in config.items()
+        if name != "tables" and value is not _UNSET
+    }
     return Scheduler(
-        engine, output or OutputConfig(), workers, package_size, progress,
-        backend, inflight_extra,
+        engine, output or OutputConfig(), **scheduler_kwargs
     ).run(tables)

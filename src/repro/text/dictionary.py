@@ -81,6 +81,10 @@ class WeightedDictionary:
         """Draw one value according to the stored weights."""
         return self._categorical.sample(rng)  # type: ignore[return-value]
 
+    def sample_index_block(self, us) -> list[int]:
+        """Entry indices for a block of uniform doubles (batch sampling)."""
+        return self._categorical.sample_index_block(us)
+
     def pick(self, index: int) -> str:
         """Positional access used for scale-out domain extension."""
         return self._entries[index % len(self._entries)].value

@@ -1,0 +1,100 @@
+"""Deprecation shims: positional scheduler config and repro.metrics.
+
+The 1.1 API makes scheduler configuration keyword-only and moves the
+timing helpers into ``repro.obs``. Old call forms keep working for one
+release cycle but must warn; these are the only tests allowed to use
+them.
+"""
+
+from __future__ import annotations
+
+import importlib
+import sys
+import warnings
+
+import pytest
+
+from repro.engine import GenerationEngine
+from repro.output.config import OutputConfig
+from repro.scheduler import Scheduler, generate
+
+from tests.conftest import demo_schema
+
+
+@pytest.fixture
+def engine() -> GenerationEngine:
+    return GenerationEngine(demo_schema())
+
+
+class TestSchedulerKeywordOnly:
+    def test_positional_config_warns_and_works(self, engine):
+        with pytest.warns(DeprecationWarning, match="Scheduler configuration"):
+            scheduler = Scheduler(engine, OutputConfig(kind="null"), 2, 50)
+        assert scheduler.workers == 2
+        assert scheduler.package_size == 50
+        report = scheduler.run()
+        assert report.rows == engine.total_rows()
+
+    def test_full_positional_order(self, engine):
+        with pytest.warns(DeprecationWarning):
+            scheduler = Scheduler(
+                engine, OutputConfig(kind="null"), 3, 40, None, "thread", 4
+            )
+        assert scheduler.workers == 3
+        assert scheduler.backend == "thread"
+        assert scheduler.inflight_extra == 4
+
+    def test_keyword_form_is_clean(self, engine):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            scheduler = Scheduler(
+                engine, OutputConfig(kind="null"), workers=2, package_size=50,
+                backend="thread", inflight_extra=3,
+            )
+        assert scheduler.workers == 2
+
+    def test_positional_plus_keyword_conflict(self, engine):
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(TypeError, match="multiple values"):
+                Scheduler(engine, OutputConfig(kind="null"), 2, workers=3)
+
+    def test_too_many_positionals(self, engine):
+        with pytest.raises(TypeError, match="at most"):
+            Scheduler(engine, OutputConfig(kind="null"), 2, 50, None, "thread", 3, 99)
+
+
+class TestGenerateKeywordOnly:
+    def test_positional_config_warns_and_works(self, engine):
+        with pytest.warns(DeprecationWarning, match="generate configuration"):
+            report = generate(engine, OutputConfig(kind="null"), 2, 50)
+        assert report.rows == engine.total_rows()
+
+    def test_positional_tables_selection(self, engine):
+        with pytest.warns(DeprecationWarning):
+            report = generate(engine, OutputConfig(kind="null"), 1, 50, ["customer"])
+        assert report.rows == engine.sizes["customer"]
+
+    def test_keyword_form_is_clean(self, engine):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            report = generate(
+                engine, OutputConfig(kind="null"), workers=1, tables=["customer"]
+            )
+        assert report.rows == engine.sizes["customer"]
+
+
+class TestMetricsModuleShim:
+    def test_import_warns_and_reexports(self):
+        sys.modules.pop("repro.metrics", None)
+        with pytest.warns(DeprecationWarning, match="repro.metrics is deprecated"):
+            legacy = importlib.import_module("repro.metrics")
+        from repro import obs
+
+        assert legacy.throughput_mb_per_s is obs.throughput_mb_per_s
+        assert legacy.per_value_latency is obs.per_value_latency
+        assert legacy.Timer is obs.Timer
+
+    def test_obs_import_is_clean(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            from repro.obs import throughput_mb_per_s  # noqa: F401

@@ -1,10 +1,10 @@
-"""Tests for the measurement utilities."""
+"""Tests for the measurement utilities (repro.obs.timing)."""
 
 from __future__ import annotations
 
 import time
 
-from repro.metrics import (
+from repro.obs import (
     LatencyStats,
     Timer,
     per_value_latency,

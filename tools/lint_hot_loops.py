@@ -1,0 +1,78 @@
+"""Hot-loop lint: no per-row calls in scheduler/writer block paths.
+
+The batch-first fast path (PR: batched generation) only pays off if the
+scheduler work-package loop and the writer block formatters stay on the
+block API (``generate_rows`` / ``write_rows``). A per-row call —
+``generate_row(...)`` or ``write_row(...)`` — sneaking back into those
+files reintroduces per-value interpreter overhead without failing any
+correctness test, so CI guards it structurally.
+
+Checked scope: ``src/repro/scheduler/`` and ``src/repro/output/``.
+Method *definitions* are fine (writers must still define ``write_row``;
+it is the unit of correctness). Only *calls* are flagged. A deliberate
+per-row call (e.g. the ``RowWriter.write_rows`` fallback, which is the
+contract's definition of correct bytes) is waived by putting
+``# hot-loop-ok: <reason>`` on the offending line.
+
+Usage: ``python tools/lint_hot_loops.py`` (exit 1 on violations).
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+CHECKED_DIRS = ("src/repro/scheduler", "src/repro/output")
+BANNED_CALLS = ("generate_row", "write_row")
+WAIVER = "hot-loop-ok"
+
+
+def _call_name(node: ast.Call) -> str | None:
+    func = node.func
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    if isinstance(func, ast.Name):
+        return func.id
+    return None
+
+
+def check_file(path: Path) -> list[str]:
+    source = path.read_text(encoding="utf-8")
+    lines = source.splitlines()
+    violations = []
+    for node in ast.walk(ast.parse(source, filename=str(path))):
+        if not isinstance(node, ast.Call):
+            continue
+        name = _call_name(node)
+        if name not in BANNED_CALLS:
+            continue
+        line = lines[node.lineno - 1]
+        if WAIVER in line:
+            continue
+        violations.append(
+            f"{path.relative_to(REPO)}:{node.lineno}: per-row call "
+            f"{name}() in a batch hot-loop file; use the block API "
+            f"(generate_rows/write_rows) or waive with '# {WAIVER}: <reason>'"
+        )
+    return violations
+
+
+def main() -> int:
+    violations: list[str] = []
+    checked = 0
+    for rel in CHECKED_DIRS:
+        for path in sorted((REPO / rel).rglob("*.py")):
+            checked += 1
+            violations.extend(check_file(path))
+    for message in violations:
+        print(message)
+    print(
+        f"hot-loop lint: {checked} files checked, {len(violations)} violation(s)"
+    )
+    return 1 if violations else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
