@@ -1,0 +1,191 @@
+"""Checkpoint overhead and crash-resume equivalence.
+
+The fault-tolerance PR's acceptance bar is twofold: journaling completed
+work packages must cost under ~2% of run time on a file sink (the
+journal is one small JSONL line per flushed package, written by the
+parent off the workers' critical path), and a crashed-then-resumed run
+must be byte-identical to an uninterrupted one.
+
+Under pytest this module benchmarks a TPC-H slice to a file sink with
+and without ``checkpoint=`` and records the overhead percentage for
+EXPERIMENTS.md. Run as a script with ``--smoke`` for the CI canary:
+correctness-only (crash → resume byte-identity on both backends, resume
+of a completed run is a no-op), no timing assertions — CI hosts vary.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import shutil
+import tempfile
+import time
+
+import pytest
+
+from repro.engine import GenerationEngine
+from repro.output.config import OutputConfig
+from repro.resilience import FaultInjectingOutput, InjectedCrash, RunManifest
+from repro.scheduler import Scheduler
+
+from conftest import bench_sf, record
+
+PACKAGE_SIZE = 2000
+
+
+def _tpch_engine():
+    from repro.suites.tpch import tpch_artifacts, tpch_schema
+
+    schema = tpch_schema(bench_sf(0.01))
+    return GenerationEngine(schema, tpch_artifacts())
+
+
+def _timed_run(directory: str, checkpoint: str | None) -> float:
+    engine = _tpch_engine()
+    output = OutputConfig(kind="file", format="csv", directory=directory)
+    started = time.perf_counter()
+    Scheduler(
+        engine, output, package_size=PACKAGE_SIZE, checkpoint=checkpoint
+    ).run()
+    return time.perf_counter() - started
+
+
+def test_checkpoint_overhead(benchmark, tmp_path):
+    """File-sink run with vs without journaling, interleaved best-of-3."""
+
+    def measure():
+        plain_best = journal_best = float("inf")
+        for round_index in range(3):
+            plain_dir = tmp_path / f"plain{round_index}"
+            journal_dir = tmp_path / f"journal{round_index}"
+            plain_best = min(plain_best, _timed_run(str(plain_dir), None))
+            journal_best = min(
+                journal_best,
+                _timed_run(
+                    str(journal_dir), str(journal_dir / "ckpt")
+                ),
+            )
+        return plain_best, journal_best
+
+    plain, journaled = benchmark.pedantic(measure, rounds=1, iterations=1)
+    overhead = (journaled - plain) / plain * 100.0
+    benchmark.extra_info["plain_s"] = round(plain, 3)
+    benchmark.extra_info["checkpoint_s"] = round(journaled, 3)
+    benchmark.extra_info["overhead_pct"] = round(overhead, 2)
+    record(
+        "Checkpoint overhead: plain s | checkpointed s | overhead",
+        (f"{plain:.3f}", f"{journaled:.3f}", f"{overhead:+.1f}%"),
+    )
+    # Soft bar on shared hardware; EXPERIMENTS.md records the measured
+    # number against the <2% target.
+    assert overhead < 10.0, (
+        f"checkpoint journaling cost {overhead:.1f}% — far above the 2% target"
+    )
+
+
+# -- script mode: CI smoke canary --------------------------------------------
+
+
+def _digests(directory: str) -> dict[str, str]:
+    out = {}
+    for name in sorted(os.listdir(directory)):
+        path = os.path.join(directory, name)
+        if os.path.isfile(path) and name.endswith(".tbl"):
+            out[name] = hashlib.sha256(open(path, "rb").read()).hexdigest()
+    return out
+
+
+def _smoke_backend(base: str, backend: str, workers: int) -> int:
+    """Crash a run partway, resume it, compare against uninterrupted."""
+    from tests.conftest import demo_schema
+
+    failures = 0
+    ref_dir = os.path.join(base, f"ref-{backend}")
+    Scheduler(
+        GenerationEngine(demo_schema()),
+        OutputConfig(kind="file", format="csv", directory=ref_dir),
+        package_size=25,
+    ).run()
+
+    crash_dir = os.path.join(base, f"crash-{backend}")
+    ckpt = os.path.join(base, f"ckpt-{backend}")
+    faulty = FaultInjectingOutput(
+        OutputConfig(kind="file", format="csv", directory=crash_dir),
+        crash_after_writes=4,
+    )
+    try:
+        Scheduler(
+            GenerationEngine(demo_schema()), faulty, package_size=25,
+            workers=workers, backend=backend, checkpoint=ckpt,
+        ).run()
+        print(f"smoke {backend}: FAIL — injected crash never fired")
+        return 1
+    except InjectedCrash:
+        pass
+
+    report = Scheduler(
+        GenerationEngine(demo_schema()),
+        OutputConfig(kind="file", format="csv", directory=crash_dir),
+        package_size=25, workers=workers, backend=backend,
+        checkpoint=ckpt, resume_from=ckpt,
+    ).run()
+    identical = _digests(crash_dir) == _digests(ref_dir)
+    if not identical:
+        print(f"smoke {backend}: FAIL — resumed bytes differ from reference")
+        failures += 1
+    if report.resumed_packages < 1:
+        print(f"smoke {backend}: FAIL — resume skipped no packages")
+        failures += 1
+    if not failures:
+        print(
+            f"smoke {backend}: crash -> resume byte-identical "
+            f"({report.resumed_packages} packages skipped)"
+        )
+
+    # Resuming a completed run must be a no-op that regenerates nothing.
+    again = Scheduler(
+        GenerationEngine(demo_schema()),
+        OutputConfig(kind="file", format="csv", directory=crash_dir),
+        package_size=25, checkpoint=ckpt, resume_from=ckpt,
+    ).run()
+    manifest = RunManifest.load(ckpt)
+    total = sum(len(s.durable_prefix()) for s in manifest.tables.values())
+    if again.resumed_packages != total:
+        print(f"smoke {backend}: FAIL — completed-run resume regenerated work")
+        failures += 1
+    return failures
+
+
+def _smoke() -> int:
+    import sys
+
+    sys.path.insert(0, os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+    base = tempfile.mkdtemp(prefix="bench-resume-")
+    try:
+        failures = _smoke_backend(base, "thread", workers=2)
+        failures += _smoke_backend(base, "process", workers=2)
+    finally:
+        shutil.rmtree(base, ignore_errors=True)
+    if failures == 0:
+        print("smoke ok: checkpoint/resume byte-identical on both backends")
+    return 1 if failures else 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="run the correctness-only crash/resume canary and exit",
+    )
+    args = parser.parse_args(argv)
+    if not args.smoke:
+        parser.error("benchmark series run under pytest; use --smoke for script mode")
+    return _smoke()
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main())

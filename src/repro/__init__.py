@@ -36,12 +36,15 @@ from repro.exceptions import (
     PropertyError,
     ReproError,
     SchedulingError,
+    TransientError,
 )
 from repro.generators import ArtifactStore
 from repro.generators.base import BindContext, GenerationContext, Generator
 from repro.model import Field, GeneratorSpec, PropertySet, Schema, Table
 from repro.output.config import OutputConfig
 from repro import obs
+from repro import resilience
+from repro.resilience import RetryPolicy, RunManifest
 from repro.scheduler import (
     ClusterReport,
     MetaScheduler,
@@ -73,6 +76,7 @@ __all__ = [
     "PropertyError",
     "ReproError",
     "SchedulingError",
+    "TransientError",
     "ArtifactStore",
     "Field",
     "GeneratorSpec",
@@ -88,5 +92,8 @@ __all__ = [
     "TableReport",
     "generate",
     "obs",
+    "resilience",
+    "RetryPolicy",
+    "RunManifest",
     "__version__",
 ]

@@ -210,6 +210,17 @@ def _cmd_generate(args: argparse.Namespace) -> int:
             engine.sizes,
             callback=print_progress if not args.quiet else None,
         )
+        if args.resume and not args.checkpoint:
+            raise ReproError("--resume requires --checkpoint DIR")
+        retry = None
+        if args.max_attempts > 1:
+            from repro.resilience import RetryPolicy
+
+            retry = RetryPolicy(
+                max_attempts=args.max_attempts,
+                base_delay=args.retry_backoff,
+                seed=int(engine.schema.seed),
+            )
         report = generate(
             engine,
             output,
@@ -217,6 +228,9 @@ def _cmd_generate(args: argparse.Namespace) -> int:
             progress=progress,
             backend=args.backend,
             inflight_extra=args.inflight_extra,
+            checkpoint=args.checkpoint,
+            resume_from=args.checkpoint if args.resume else None,
+            retry=retry,
         )
         if not args.quiet:
             print(file=sys.stderr)
@@ -225,6 +239,15 @@ def _cmd_generate(args: argparse.Namespace) -> int:
             f"in {report.seconds:.2f} s ({report.mb_per_second:.2f} MB/s, "
             f"{args.workers} {report.backend} workers)"
         )
+        if report.resumed_packages:
+            print(f"resumed: {report.resumed_packages} checkpointed packages skipped")
+        if report.retries:
+            print(f"retries: {report.retries} sink writes recovered")
+        if report.worker_restarts:
+            print(
+                f"recovered: {report.worker_restarts} crashed workers replaced, "
+                f"{report.requeued_packages} packages requeued"
+            )
         if not args.quiet:
             for table in report.tables:
                 print(
@@ -416,6 +439,33 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="K",
         help="bounded delivery window is workers+K undelivered packages "
         "(backpressure; default 2)",
+    )
+    gen.add_argument(
+        "--checkpoint",
+        metavar="DIR",
+        help="journal completed work packages to DIR/manifest.jsonl so an "
+        "interrupted run can be resumed",
+    )
+    gen.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume from the --checkpoint manifest: skip durable packages "
+        "and regenerate only the missing tail (byte-identical)",
+    )
+    gen.add_argument(
+        "--max-attempts",
+        type=int,
+        default=1,
+        metavar="N",
+        help="retry transient sink failures and worker crashes up to N "
+        "attempts with exponential backoff (default 1 = no retries)",
+    )
+    gen.add_argument(
+        "--retry-backoff",
+        type=float,
+        default=0.05,
+        metavar="SECONDS",
+        help="base delay of the exponential retry backoff (default 0.05)",
     )
     gen.add_argument("-q", "--quiet", action="store_true")
     _add_telemetry_args(gen)

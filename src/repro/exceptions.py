@@ -51,5 +51,15 @@ class OutputError(ReproError):
     """The output system failed to format or write generated data."""
 
 
+class TransientError(OutputError):
+    """An output failure that is expected to succeed on retry.
+
+    Sinks backed by flaky transports (network filesystems, databases
+    under load, streaming endpoints) raise this to route the failure
+    through the retry-policy classifier instead of aborting the run;
+    see :class:`repro.resilience.RetryPolicy`.
+    """
+
+
 class SchedulingError(ReproError):
     """Work could not be partitioned or executed."""

@@ -79,7 +79,16 @@ class OutputConfig:
         extension = self.extension or self._EXTENSIONS.get(self.format, ".out")
         return os.path.join(self.directory, table + extension)
 
-    def new_sink(self, table: str) -> Sink:
+    def new_sink(self, table: str, resume_at: int | None = None) -> Sink:
+        """A fresh sink for one table.
+
+        ``resume_at`` is the checkpointed durable byte offset of a
+        resumed run: file sinks truncate to it and append after it;
+        null/memory sinks start empty (their output is ephemeral per
+        run); sqlite sinks keep the already-loaded rows (skipped
+        packages are already in the database); gzip sinks cannot be
+        truncated mid-stream and refuse to resume.
+        """
         if self.kind == "null":
             return NullSink()
         if self.kind == "memory":
@@ -91,8 +100,13 @@ class OutputConfig:
                 raise OutputError("sqlite output needs a database path")
             return SQLiteSink(self.database)
         if self.kind == "gzip":
+            if resume_at is not None:
+                raise OutputError(
+                    "cannot resume gzip output: compressed streams are not "
+                    "truncatable; restart the run or use kind='file'"
+                )
             return GzipFileSink(self.table_path(table) + ".gz")
-        return FileSink(self.table_path(table))
+        return FileSink(self.table_path(table), resume_at=resume_at)
 
     def memory_output(self, table: str) -> str:
         """The collected output of a memory run (tests, previews)."""

@@ -31,6 +31,21 @@ class Sink(abc.ABC):
     def write(self, chunk: str) -> None:
         """Append one chunk of formatted output."""
 
+    def flush(self) -> None:
+        """Push buffered output toward the OS. Default: nothing buffered.
+
+        The checkpoint journal calls this before recording a package as
+        durable, so a journaled package survives a process crash.
+        """
+
+    def sync(self) -> None:
+        """Force output to stable storage (fsync where applicable).
+
+        Called on SIGINT/emergency teardown so the last journaled
+        package is trustworthy even across power loss. Default: flush.
+        """
+        self.flush()
+
     def close(self) -> None:
         """Flush and release resources. Default: nothing to do."""
 
@@ -51,25 +66,67 @@ class NullSink(Sink):
 
 class FileSink(Sink):
     """Writes to a file with a large buffer (PDGF produces sorted output
-    into a single file per table)."""
+    into a single file per table).
 
-    def __init__(self, path: str, buffer_size: int = 1 << 20) -> None:
+    ``resume_at`` reopens an existing file for a checkpointed resume:
+    the file is truncated to that byte offset (the durable prefix the
+    run manifest vouches for) and new chunks append after it. A file
+    shorter than the durable prefix means the checkpoint outlived the
+    data (e.g. lost buffers on a hard kill) and is refused.
+    """
+
+    def __init__(
+        self,
+        path: str,
+        buffer_size: int = 1 << 20,
+        resume_at: int | None = None,
+    ) -> None:
         super().__init__()
         self.path = path
         try:
             directory = os.path.dirname(os.path.abspath(path))
             os.makedirs(directory, exist_ok=True)
+            if resume_at is not None:
+                self._truncate_to(path, resume_at)
             self._handle: io.TextIOWrapper | None = open(
-                path, "w", encoding="utf-8", buffering=buffer_size
+                path,
+                "a" if resume_at is not None else "w",
+                encoding="utf-8",
+                buffering=buffer_size,
             )
         except OSError as exc:
             raise OutputError(f"cannot open {path!r}: {exc}") from exc
+
+    @staticmethod
+    def _truncate_to(path: str, offset: int) -> None:
+        if not os.path.exists(path):
+            raise OutputError(
+                f"cannot resume into {path!r}: file does not exist"
+            )
+        size = os.path.getsize(path)
+        if size < offset:
+            raise OutputError(
+                f"cannot resume into {path!r}: file has {size} bytes but the "
+                f"checkpoint recorded {offset} durable bytes — the journal "
+                "outlived the data (unsynced buffers lost in a hard kill?)"
+            )
+        with open(path, "rb+") as handle:
+            handle.truncate(offset)
 
     def write(self, chunk: str) -> None:
         if self._handle is None:
             raise OutputError(f"sink for {self.path!r} already closed")
         self._handle.write(chunk)
         self.bytes_written += len(chunk)
+
+    def flush(self) -> None:
+        if self._handle is not None:
+            self._handle.flush()
+
+    def sync(self) -> None:
+        if self._handle is not None:
+            self._handle.flush()
+            os.fsync(self._handle.fileno())
 
     def close(self) -> None:
         if self._handle is not None:
@@ -103,6 +160,10 @@ class GzipFileSink(Sink):
             raise OutputError(f"sink for {self.path!r} already closed")
         self._handle.write(chunk)
         self.bytes_written += len(chunk)
+
+    def flush(self) -> None:
+        if self._handle is not None:
+            self._handle.flush()
 
     def close(self) -> None:
         if self._handle is not None:
@@ -150,13 +211,17 @@ class SQLiteSink(Sink):
     def __init__(self, database: str) -> None:
         super().__init__()
         try:
-            self._conn = sqlite3.connect(database, check_same_thread=False)
+            self._conn: sqlite3.Connection | None = sqlite3.connect(
+                database, check_same_thread=False
+            )
         except sqlite3.Error as exc:
             raise OutputError(f"cannot open database {database!r}: {exc}") from exc
         self._lock = threading.Lock()
 
     def write(self, chunk: str) -> None:
         with self._lock:
+            if self._conn is None:
+                raise OutputError("SQLite sink already closed")
             try:
                 self._conn.executescript(chunk)
             except sqlite3.Error as exc:
@@ -165,10 +230,19 @@ class SQLiteSink(Sink):
             # and a bare ``+=`` from concurrent writers drops increments.
             self.bytes_written += len(chunk)
 
-    def close(self) -> None:
+    def flush(self) -> None:
         with self._lock:
-            self._conn.commit()
-            self._conn.close()
+            if self._conn is not None:
+                self._conn.commit()
+
+    def close(self) -> None:
+        # Idempotent: the emergency teardown path may close a sink the
+        # normal path closes again.
+        with self._lock:
+            if self._conn is not None:
+                self._conn.commit()
+                self._conn.close()
+                self._conn = None
 
 
 class InFlightWindow:
@@ -257,21 +331,47 @@ class OrderedSinkMux:
     see the original :class:`OutputError` instead of a misleading
     duplicate/never-arrived complaint, and timing/flush counters still
     cover the partial flush.
+
+    Resilience hooks: ``first_sequence`` starts the ordering cursor past
+    a resumed run's durable prefix; ``on_flush(sequence, chunk)`` fires
+    after each chunk reaches the sink (the checkpoint journal's feed);
+    ``retry`` routes sink-write failures through a
+    :class:`~repro.resilience.RetryPolicy`, with ``retries`` counting
+    the recovered attempts.
     """
 
     def __init__(
-        self, sink: Sink, name: str = "", window: InFlightWindow | None = None
+        self,
+        sink: Sink,
+        name: str = "",
+        window: InFlightWindow | None = None,
+        *,
+        first_sequence: int = 0,
+        on_flush=None,
+        retry=None,
     ) -> None:
         self._sink = sink
         self.name = name
-        self._next = 0
+        self._next = first_sequence
         self._pending: dict[int, str] = {}
         self._lock = threading.Lock()
         self._window = window
+        self._on_flush = on_flush
+        self._retry = retry
         self._failure: BaseException | None = None
         self.write_seconds = 0.0
         self.flushes = 0
         self.max_pending = 0
+        self.retries = 0
+
+    def _count_retry(self, attempt: int, exc: BaseException) -> None:
+        self.retries += 1
+
+    def _write(self, chunk: str) -> None:
+        if self._retry is None:
+            self._sink.write(chunk)
+        else:
+            self._retry.call(self._sink.write, chunk, on_retry=self._count_retry)
 
     def submit(self, sequence: int, chunk: str) -> None:
         with self._lock:
@@ -291,7 +391,9 @@ class OrderedSinkMux:
                 with span("sink.write", table=self.name) as write_span:
                     while self._next in self._pending:
                         pending = self._pending.pop(self._next)
-                        self._sink.write(pending)
+                        self._write(pending)
+                        if self._on_flush is not None:
+                            self._on_flush(self._next, pending)
                         written += len(pending)
                         self._next += 1
                         flushed += 1

@@ -1,0 +1,103 @@
+"""Retry policy: bounded attempts, exponential backoff, deterministic jitter.
+
+Generation itself is deterministic — re-running a work package can never
+fix a :class:`~repro.exceptions.GenerationError` — so retries apply only
+at the boundaries where the environment can fail transiently: sink
+writes (flaky filesystems, loaded databases) and process-backend worker
+dispatch (OOM-killed or preempted workers). The policy is the single
+classifier for "is this failure worth retrying": everything else keeps
+failing fast.
+
+Jitter is deterministic (a :func:`~repro.prng.xorshift.mix64` stream
+over ``seed`` and the attempt number) so that two runs with the same
+policy observe the same backoff schedule — the same property that makes
+generation reproducible makes the *recovery* path reproducible too.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.exceptions import SchedulingError, TransientError
+from repro.prng.xorshift import mix64
+
+#: exception types retried by default: the explicit transient marker plus
+#: the OS-level failures a sink write can hit on shared infrastructure.
+DEFAULT_RETRYABLE: tuple[type[BaseException], ...] = (
+    TransientError,
+    ConnectionError,
+    TimeoutError,
+    OSError,
+)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How transient failures are retried.
+
+    ``max_attempts`` counts the first try: ``max_attempts=3`` means one
+    try plus at most two retries. Delays grow as ``base_delay *
+    multiplier ** (attempt - 1)`` capped at ``max_delay``, then spread by
+    ``jitter`` (a ± fraction of the delay, deterministic in ``seed``).
+    ``retryable`` is the classification: an exception is retried only if
+    it is an instance of one of these types.
+    """
+
+    max_attempts: int = 3
+    base_delay: float = 0.05
+    multiplier: float = 2.0
+    max_delay: float = 2.0
+    jitter: float = 0.25
+    retryable: tuple[type[BaseException], ...] = DEFAULT_RETRYABLE
+    seed: int = 0
+    sleep: Callable[[float], None] = field(default=time.sleep, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise SchedulingError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise SchedulingError("retry delays must be >= 0")
+        if not 0 <= self.jitter <= 1:
+            raise SchedulingError(
+                f"jitter must be within [0, 1], got {self.jitter}"
+            )
+
+    def is_retryable(self, exc: BaseException) -> bool:
+        """Classify one failure. Only classified failures are retried."""
+        return isinstance(exc, self.retryable)
+
+    def delay(self, attempt: int) -> float:
+        """Backoff before retrying after failed attempt ``attempt`` (1-based).
+
+        Deterministic: the jitter fraction comes from a ``mix64`` stream
+        over ``(seed, attempt)``, not from global random state.
+        """
+        raw = self.base_delay * self.multiplier ** (attempt - 1)
+        capped = min(raw, self.max_delay)
+        if not self.jitter or capped <= 0:
+            return capped
+        unit = mix64(self.seed * 1_000_003 + attempt) / 2**64  # [0, 1)
+        return capped * (1.0 + self.jitter * (2.0 * unit - 1.0))
+
+    def call(self, fn: Callable, *args, on_retry: Callable | None = None, **kwargs):
+        """Run ``fn`` under this policy, returning its result.
+
+        Non-retryable failures and the final failed attempt re-raise the
+        original exception unchanged. ``on_retry(attempt, exc)`` is
+        invoked before each backoff sleep (metrics hookup).
+        """
+        attempt = 1
+        while True:
+            try:
+                return fn(*args, **kwargs)
+            except Exception as exc:
+                if attempt >= self.max_attempts or not self.is_retryable(exc):
+                    raise
+                if on_retry is not None:
+                    on_retry(attempt, exc)
+                self.sleep(self.delay(attempt))
+                attempt += 1

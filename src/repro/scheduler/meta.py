@@ -15,6 +15,7 @@ on one machine.
 from __future__ import annotations
 
 import multiprocessing
+import os
 import time
 from dataclasses import dataclass
 
@@ -76,6 +77,15 @@ def node_ranges(sizes: dict[str, int], nodes: int, node: int) -> dict[str, tuple
     return {table: node_share(size, nodes, node) for table, size in sizes.items()}
 
 
+def _node_checkpoint_dir(base: str | None, node: int) -> str | None:
+    """Each node journals into its own subdirectory of the checkpoint
+    base — node shares are disjoint row ranges with distinct
+    fingerprints, so their manifests must not interleave."""
+    if base is None:
+        return None
+    return os.path.join(base, f"node{node}")
+
+
 def run_node(
     schema: Schema,
     nodes: int,
@@ -84,25 +94,38 @@ def run_node(
     artifacts: ArtifactStore | None = None,
     workers: int = 1,
     package_size: int = DEFAULT_PACKAGE_SIZE,
+    checkpoint: str | None = None,
+    resume_from: str | None = None,
+    retry=None,
 ) -> RunReport:
     """Generate one node's share in the current process.
 
     This is also the entry point a real deployment would call on each
     machine: same model + same node index ⇒ same share, every time.
+    ``checkpoint``/``resume_from`` name a *base* directory; the node
+    journals into its ``node<i>`` subdirectory, so a cluster can resume
+    only the nodes that actually died.
     """
     engine = GenerationEngine(schema, artifacts)
     ranges = node_ranges(engine.sizes, nodes, node)
     scheduler = Scheduler(
         engine, output or OutputConfig(),
         workers=workers, package_size=package_size,
+        checkpoint=_node_checkpoint_dir(checkpoint, node),
+        resume_from=_node_checkpoint_dir(resume_from, node),
+        retry=retry,
     )
     return scheduler.run(row_ranges=ranges)
 
 
 def _node_worker(args: tuple) -> NodeReport:
     """Child-process body for the simulated cluster."""
-    schema, nodes, node, output, artifacts, workers, package_size = args
-    report = run_node(schema, nodes, node, output, artifacts, workers, package_size)
+    (schema, nodes, node, output, artifacts, workers, package_size,
+     checkpoint, resume_from, retry) = args
+    report = run_node(
+        schema, nodes, node, output, artifacts, workers, package_size,
+        checkpoint, resume_from, retry,
+    )
     return NodeReport(node, report.rows, report.bytes_written, report.seconds)
 
 
@@ -121,12 +144,18 @@ class MetaScheduler:
         output: OutputConfig | None = None,
         workers_per_node: int = 1,
         package_size: int = DEFAULT_PACKAGE_SIZE,
+        checkpoint: str | None = None,
+        resume_from: str | None = None,
+        retry=None,
     ) -> None:
         self.schema = schema
         self.artifacts = artifacts
         self.output = output or OutputConfig()
         self.workers_per_node = workers_per_node
         self.package_size = package_size
+        self.checkpoint = checkpoint
+        self.resume_from = resume_from
+        self.retry = retry
 
     def run(self, nodes: int, processes: bool = True) -> ClusterReport:
         if nodes < 1:
@@ -140,6 +169,9 @@ class MetaScheduler:
                 self.artifacts,
                 self.workers_per_node,
                 self.package_size,
+                self.checkpoint,
+                self.resume_from,
+                self.retry,
             )
             for node in range(nodes)
         ]

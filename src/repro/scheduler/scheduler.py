@@ -38,6 +38,7 @@ telemetry only controls whether it is *also* exported.
 from __future__ import annotations
 
 import multiprocessing
+import os
 import threading
 import time
 import traceback
@@ -50,6 +51,13 @@ from repro.engine import GenerationEngine
 from repro.obs import active_metrics, span, throughput_mb_per_s
 from repro.output.config import OutputConfig
 from repro.output.sinks import InFlightWindow, OrderedSinkMux, Sink
+from repro.resilience.checkpoint import (
+    CheckpointWriter,
+    RunManifest,
+    model_fingerprint,
+)
+from repro.resilience.faults import FaultPlan
+from repro.resilience.retry import RetryPolicy
 from repro.scheduler.progress import ProgressMonitor
 from repro.scheduler.work import DEFAULT_PACKAGE_SIZE, WorkPackage, partition_rows
 
@@ -131,7 +139,15 @@ class TableReport:
 
 @dataclass(frozen=True)
 class RunReport:
-    """Outcome of a generation run."""
+    """Outcome of a generation run.
+
+    The resilience fields report recovery work: ``retries`` counts sink
+    writes that succeeded after transient failures, ``requeued_packages``
+    and ``worker_restarts`` count process-backend crash recovery, and
+    ``resumed_packages`` counts checkpointed packages a resumed run
+    skipped instead of regenerating (their rows/bytes are included in
+    the totals — the report describes the complete data set).
+    """
 
     rows: int
     bytes_written: int
@@ -139,6 +155,10 @@ class RunReport:
     workers: int
     tables: tuple[TableReport, ...] = field(default=())
     backend: str = "thread"
+    retries: int = 0
+    requeued_packages: int = 0
+    worker_restarts: int = 0
+    resumed_packages: int = 0
 
     @property
     def rows_per_second(self) -> float:
@@ -230,13 +250,15 @@ def _process_worker_main(
     output: OutputConfig,
     task_queue,
     result_queue,
+    faults: FaultPlan | None = None,
 ) -> None:
     """Worker-process body: generate and format packages locally.
 
     Receives :class:`WorkPackage` items until a ``None`` sentinel;
     streams ``("ok", table, sequence, chunk, rows, seconds, fmt_hits,
     fmt_misses)`` tuples back. Failures surface as an ``("error", ...)``
-    message instead of killing the run silently.
+    message instead of killing the run silently. ``faults`` is the test
+    harness's scripted crash plan (``kill-worker-at-package-N``).
     """
     # A forked child inherits the parent's tracer/metrics; recording into
     # the copy would be invisible, so telemetry is off in workers and the
@@ -249,6 +271,8 @@ def _process_worker_main(
             package = task_queue.get()
             if package is None:
                 return
+            if faults is not None:
+                faults.maybe_kill_worker(package.table, package.sequence)
             started = time.perf_counter()
             bound = engine.bound_table(package.table)
             writer = output.new_writer(package.table, bound.column_names)
@@ -261,9 +285,36 @@ def _process_worker_main(
                 "ok", package.table, package.sequence, chunk, package.rows,
                 elapsed, formatter.cache_hits, formatter.cache_misses,
             ))
-    except BaseException as exc:  # noqa: BLE001 - forwarded to the parent
+    except BaseException as exc:  # fault-ok: forwarded to the parent as an error message
         result_queue.put(("error", type(exc).__name__, str(exc),
                           traceback.format_exc()))
+
+
+class _WorkerSlot:
+    """One process-backend worker: its process, private task queue, and
+    the packages dispatched to it that have not come back yet.
+
+    The private queue (instead of one shared queue) is what makes crash
+    recovery possible: when a worker dies, ``assigned`` is the exact set
+    of packages that must be requeued elsewhere.
+    """
+
+    __slots__ = ("process", "queue", "assigned")
+
+    def __init__(self, queue) -> None:
+        self.process = None
+        self.queue = queue
+        self.assigned: dict[tuple[str, int], WorkPackage] = {}
+
+
+class _CrashRecovery:
+    """Counters for process-backend crash recovery, reported per run."""
+
+    __slots__ = ("requeued", "restarts")
+
+    def __init__(self) -> None:
+        self.requeued = 0
+        self.restarts = 0
 
 
 class Scheduler:
@@ -291,11 +342,17 @@ class Scheduler:
         progress: ProgressMonitor | None = _UNSET,  # type: ignore[assignment]
         backend: str = _UNSET,  # type: ignore[assignment]
         inflight_extra: int = _UNSET,  # type: ignore[assignment]
+        checkpoint: str | None = None,
+        resume_from: str | None = None,
+        retry: RetryPolicy | None = None,
+        faults: FaultPlan | None = None,
     ) -> None:
         from repro.exceptions import SchedulingError
 
         # Configuration is keyword-only; the *legacy capture accepts the
         # pre-1.1 positional order once more, with a DeprecationWarning.
+        # Resilience options (checkpoint/resume_from/retry/faults) were
+        # never positional and take no part in the shim.
         config: dict[str, object] = {
             "workers": workers,
             "package_size": package_size,
@@ -333,6 +390,10 @@ class Scheduler:
         self.progress = progress
         self.backend = backend
         self.inflight_extra = inflight_extra
+        self.checkpoint = checkpoint
+        self.resume_from = resume_from
+        self.retry = retry
+        self.faults = faults
         self.last_window: InFlightWindow | None = None
 
     def run(
@@ -342,7 +403,13 @@ class Scheduler:
     ) -> RunReport:
         """Generate *tables* (default: all), optionally restricted to
         per-table ``[start, stop)`` ranges (the meta scheduler's node
-        shares)."""
+        shares).
+
+        With ``checkpoint`` set, every package that reaches its sink is
+        journaled to the run manifest; with ``resume_from`` set, the
+        manifest's durable prefix is skipped and only the missing tail
+        is regenerated, byte-identical to an uninterrupted run.
+        """
         engine = self.engine
         names = tables if tables is not None else [t.name for t in engine.schema.tables]
 
@@ -358,72 +425,170 @@ class Scheduler:
         window = InFlightWindow(self.workers + self.inflight_extra)
         self.last_window = window
 
-        with span(
-            "scheduler.run", workers=self.workers, package_size=self.package_size,
-            backend=self.backend,
-        ) as run_span:
-            total_rows = 0
-            for name in names:
-                size = engine.sizes[name]
-                start, stop = 0, size
-                if row_ranges and name in row_ranges:
-                    start, stop = row_ranges[name]
-                    stop = min(stop, size)
-                share = max(stop - start, 0)
-                total_rows += share
-                stats[name] = _TableStats()
-                if registry is not None:
-                    instruments[name] = _TableInstruments(registry, name)
+        manifest, journal = self._resilience_setup(names, row_ranges)
+        recovery = _CrashRecovery()
+        resumed_packages = 0
+        durable_bytes = 0
+        skip_counter = None
+        if registry is not None and manifest is not None:
+            skip_counter = registry.counter(
+                "resume_packages_skipped_total",
+                "checkpointed packages skipped by a resumed run",
+            )
 
-                sink = self.output.new_sink(name)
-                sinks.append(sink)
-                mux = OrderedSinkMux(sink, name, window=window)
-                muxes[name] = mux
-
-                columns = engine.bound_table(name).column_names
-                probe_writer = self.output.new_writer(name, columns)
-                header = probe_writer.header()
-                if header:
-                    # Header/footer bytes belong to the table, so that
-                    # table reports sum to the run total.
-                    sink.write(header)
-                    self._count_frame_bytes(name, len(header), stats, instruments)
-                footer = probe_writer.footer()
-                if footer:
-                    footers.append((name, sink, footer))
-
-                for package in partition_rows(name, share, self.package_size, offset=start):
-                    packages.append((package, mux))
-            run_span.set(tables=len(names), packages=len(packages), rows=total_rows)
-            run_span_id = getattr(run_span, "span_id", None)
-
-            started = time.perf_counter()
-            if not packages:
-                pass
-            elif self.backend == "process":
-                self._run_process_pool(packages, muxes, stats, instruments, window)
-            elif self.workers == 1:
-                for package, mux in packages:
-                    self._generate_package(
-                        package, mux, stats[package.table], stats_lock,
-                        instruments.get(package.table),
-                    )
-            else:
-                self._run_thread_pool(
-                    packages, stats, stats_lock, instruments, window, run_span_id
-                )
-            with span("scheduler.finish"):
+        try:
+            with span(
+                "scheduler.run", workers=self.workers,
+                package_size=self.package_size, backend=self.backend,
+            ) as run_span:
+                total_rows = 0
                 for name in names:
-                    muxes[name].finish()
-                for name, sink, footer in footers:
-                    sink.write(footer)
-                    self._count_frame_bytes(name, len(footer), stats, instruments)
-            elapsed = time.perf_counter() - started
+                    size = engine.sizes[name]
+                    start, stop = 0, size
+                    if row_ranges and name in row_ranges:
+                        start, stop = row_ranges[name]
+                        stop = min(stop, size)
+                    share = max(stop - start, 0)
+                    total_rows += share
+                    stats[name] = _TableStats()
+                    if registry is not None:
+                        instruments[name] = _TableInstruments(registry, name)
 
-            bytes_written = sum(sink.bytes_written for sink in sinks)
-            for sink in sinks:
-                sink.close()
+                    state = (
+                        manifest.tables.get(name) if manifest is not None else None
+                    )
+                    if state is not None and state.done:
+                        # The whole table (footer included) is durable:
+                        # skip it without touching the output file.
+                        stats[name].rows = state.done_rows
+                        stats[name].bytes = state.done_bytes
+                        durable_bytes += state.done_bytes
+                        skipped = len(state.durable_prefix())
+                        resumed_packages += skipped
+                        if skip_counter is not None and skipped:
+                            skip_counter.inc(skipped, table=name)
+                        continue
 
+                    all_packages = partition_rows(
+                        name, share, self.package_size, offset=start
+                    )
+                    prefix = self._validate_prefix(name, state, all_packages)
+                    sink = self._open_sink(name, state, prefix)
+                    sinks.append(sink)
+
+                    on_flush = None
+                    if journal is not None:
+                        by_sequence = {p.sequence: p for p in all_packages}
+
+                        def on_flush(
+                            sequence, chunk,
+                            _by_sequence=by_sequence, _sink=sink,
+                            _journal=journal,
+                        ):
+                            _journal.record_package(
+                                _by_sequence[sequence], chunk, _sink
+                            )
+
+                    mux = OrderedSinkMux(
+                        sink, name, window=window,
+                        first_sequence=len(prefix), on_flush=on_flush,
+                        retry=self.retry,
+                    )
+                    muxes[name] = mux
+
+                    columns = engine.bound_table(name).column_names
+                    probe_writer = self.output.new_writer(name, columns)
+                    header = probe_writer.header()
+                    if state is None or state.header_bytes is None:
+                        if header:
+                            # Header/footer bytes belong to the table, so
+                            # that table reports sum to the run total.
+                            sink.write(header)
+                            self._count_frame_bytes(
+                                name, len(header), stats, instruments
+                            )
+                        if journal is not None:
+                            journal.table_start(
+                                name,
+                                len(header.encode("utf-8")) if header else 0,
+                                sink,
+                            )
+                    elif state.header_bytes:
+                        # Header already durable on disk; count it from
+                        # the manifest instead of rewriting it.
+                        self._count_frame_bytes(
+                            name, state.header_bytes, stats, instruments
+                        )
+                    footer = probe_writer.footer()
+                    if footer:
+                        footers.append((name, sink, footer))
+
+                    if prefix:
+                        prefix_rows = sum(r.rows for r in prefix)
+                        prefix_bytes = sum(r.bytes for r in prefix)
+                        stats[name].rows += prefix_rows
+                        stats[name].bytes += prefix_bytes
+                        durable_bytes += (state.header_bytes or 0) + prefix_bytes
+                        resumed_packages += len(prefix)
+                        if skip_counter is not None:
+                            skip_counter.inc(len(prefix), table=name)
+
+                    for package in all_packages[len(prefix):]:
+                        packages.append((package, mux))
+                run_span.set(
+                    tables=len(names), packages=len(packages), rows=total_rows,
+                    resumed_packages=resumed_packages,
+                )
+                run_span_id = getattr(run_span, "span_id", None)
+
+                started = time.perf_counter()
+                if not packages:
+                    pass
+                elif self.backend == "process":
+                    self._run_process_pool(
+                        packages, muxes, stats, instruments, window, recovery
+                    )
+                elif self.workers == 1:
+                    for package, mux in packages:
+                        self._generate_package(
+                            package, mux, stats[package.table], stats_lock,
+                            instruments.get(package.table),
+                        )
+                else:
+                    self._run_thread_pool(
+                        packages, stats, stats_lock, instruments, window,
+                        run_span_id,
+                    )
+                with span("scheduler.finish"):
+                    for name in muxes:
+                        muxes[name].finish()
+                    for name, sink, footer in footers:
+                        sink.write(footer)
+                        self._count_frame_bytes(name, len(footer), stats, instruments)
+                    if journal is not None:
+                        for name in muxes:
+                            journal.table_done(
+                                name, stats[name].rows, stats[name].bytes
+                            )
+                        journal.run_done()
+                elapsed = time.perf_counter() - started
+
+                bytes_written = durable_bytes + sum(
+                    sink.bytes_written for sink in sinks
+                )
+                for sink in sinks:
+                    sink.close()
+        except BaseException as exc:
+            # SIGINT/crash mid-run: make what was generated durable so
+            # the checkpoint's last journaled package is trustworthy —
+            # fsync-and-close every sink, then mark the manifest.
+            self._emergency_teardown(sinks, journal, exc)
+            raise
+        finally:
+            if journal is not None:
+                journal.close()
+
+        retries = sum(mux.retries for mux in muxes.values())
         if registry is not None:
             flush_seconds = registry.counter(
                 "sink_write_seconds_total", "seconds spent writing chunks to sinks"
@@ -431,11 +596,26 @@ class Scheduler:
             flush_count = registry.counter(
                 "sink_flushes_total", "ordered chunks flushed to sinks"
             )
-            for name in names:
-                mux = muxes[name]
+            retry_count = registry.counter(
+                "sink_write_retries_total",
+                "sink writes recovered by the retry policy",
+            )
+            for name, mux in muxes.items():
                 if mux.flushes:
                     flush_seconds.inc(mux.write_seconds, table=name)
                     flush_count.inc(mux.flushes, table=name)
+                if mux.retries:
+                    retry_count.inc(mux.retries, table=name)
+            if recovery.restarts:
+                registry.counter(
+                    "worker_restarts_total",
+                    "crashed worker processes replaced by the scheduler",
+                ).inc(recovery.restarts)
+            if recovery.requeued:
+                registry.counter(
+                    "packages_requeued_total",
+                    "in-flight packages requeued after a worker crash",
+                ).inc(recovery.requeued)
 
         table_reports = tuple(
             TableReport(name, stats[name].rows, stats[name].bytes, stats[name].seconds)
@@ -443,8 +623,108 @@ class Scheduler:
         )
         return RunReport(
             total_rows, bytes_written, elapsed, self.workers, table_reports,
-            self.backend,
+            self.backend, retries, recovery.requeued, recovery.restarts,
+            resumed_packages,
         )
+
+    # -- resilience ----------------------------------------------------------
+
+    def _resilience_setup(
+        self,
+        names: list[str],
+        row_ranges: dict[str, tuple[int, int]] | None,
+    ) -> tuple[RunManifest | None, CheckpointWriter | None]:
+        """Load the resume manifest and open the checkpoint journal.
+
+        Resuming verifies the model fingerprint first: a checkpoint from
+        a different model, format, or partitioning would silently splice
+        incompatible bytes, so it is refused outright.
+        """
+        from repro.exceptions import SchedulingError
+
+        if self.resume_from is None and self.checkpoint is None:
+            return None, None
+        fingerprint = model_fingerprint(
+            self.engine, self.output, self.package_size, names, row_ranges
+        )
+        manifest = None
+        if self.resume_from is not None:
+            manifest = RunManifest.load(self.resume_from)
+            if manifest.fingerprint != fingerprint:
+                raise SchedulingError(
+                    "refusing to resume: checkpoint fingerprint "
+                    f"{manifest.fingerprint[:12]}… does not match this run's "
+                    f"model/output/partitioning ({fingerprint[:12]}…); "
+                    "resume requires the identical model, seed, scale, "
+                    "output format, and package size"
+                )
+        journal = None
+        if self.checkpoint is not None:
+            appending = (
+                manifest is not None
+                and os.path.abspath(self.checkpoint)
+                == os.path.abspath(self.resume_from)
+            )
+            journal = CheckpointWriter(
+                self.checkpoint,
+                fingerprint=fingerprint,
+                seed=self.engine.schema.seed,
+                package_size=self.package_size,
+                tables={name: self.engine.sizes[name] for name in names},
+                backend=self.backend,
+                append=appending,
+            )
+        return manifest, journal
+
+    def _validate_prefix(self, name, state, all_packages):
+        """The durable prefix of one table, checked against this run's
+        partitioning (the fingerprint already guards the inputs; this
+        guards the manifest itself against truncation or editing)."""
+        from repro.exceptions import SchedulingError
+
+        if state is None:
+            return []
+        prefix = state.durable_prefix()
+        if prefix and state.header_bytes is None:
+            raise SchedulingError(
+                f"checkpoint manifest records packages for table {name!r} "
+                "but no table_start header record; manifest is corrupt"
+            )
+        if len(prefix) > len(all_packages):
+            raise SchedulingError(
+                f"checkpoint manifest records {len(prefix)} packages for "
+                f"table {name!r} but this run partitions it into "
+                f"{len(all_packages)}"
+            )
+        for record, package in zip(prefix, all_packages):
+            if (record.start, record.stop) != (package.start, package.stop):
+                raise SchedulingError(
+                    f"checkpoint package {record.sequence} of table {name!r} "
+                    f"covers rows [{record.start}, {record.stop}) but this "
+                    f"run expects [{package.start}, {package.stop})"
+                )
+        return prefix
+
+    def _open_sink(self, name, state, prefix) -> Sink:
+        """A sink for one table — fresh, or positioned at the durable
+        prefix when resuming."""
+        if state is None or (state.header_bytes is None and not prefix):
+            # Fresh table, or a resumed table that crashed before its
+            # header became durable: regenerate from the top.
+            return self.output.new_sink(name)
+        resume_at = (state.header_bytes or 0) + sum(r.bytes for r in prefix)
+        return self.output.new_sink(name, resume_at=resume_at)
+
+    def _emergency_teardown(self, sinks, journal, exc: BaseException) -> None:
+        """Best-effort fsync-and-close after SIGINT or a crash."""
+        for sink in sinks:
+            try:
+                sink.sync()
+                sink.close()
+            except Exception:  # fault-ok: teardown must not mask the original failure
+                pass
+        if journal is not None:
+            journal.interrupted(type(exc).__name__)
 
     @staticmethod
     def _count_frame_bytes(
@@ -544,6 +824,7 @@ class Scheduler:
         stats: dict[str, _TableStats],
         instruments: dict[str, _TableInstruments],
         window: InFlightWindow,
+        recovery: "_CrashRecovery",
     ) -> None:
         """Stream packages through worker processes, flushing in order.
 
@@ -554,51 +835,63 @@ class Scheduler:
         dispatch follows sequence order, at most ``workers +
         inflight_extra`` chunks are ever buffered, no matter how large
         the run is.
+
+        Each worker owns a private task queue so the parent knows which
+        packages are in flight where. When a worker process dies and a
+        :class:`~repro.resilience.RetryPolicy` is attached, its
+        dispatched-but-unfinished packages are requeued to a freshly
+        spawned replacement instead of failing the run (generation is
+        seed-addressed, so a redo is byte-identical); a completed-set
+        guard drops the rare duplicate result of a package whose result
+        raced the crash. Without a policy, a dead worker fails the run
+        as before.
         """
         from repro.exceptions import SchedulingError
 
         total = len(packages)
         context = _mp_context()
-        task_queue = context.Queue()
         result_queue = context.Queue()
-        count = min(self.workers, total)
-        workers = [
-            context.Process(
+
+        def spawn() -> _WorkerSlot:
+            slot = _WorkerSlot(context.Queue())
+            slot.process = context.Process(
                 target=_process_worker_main,
-                args=(self.engine, self.output, task_queue, result_queue),
+                args=(self.engine, self.output, slot.queue, result_queue,
+                      self.faults),
                 daemon=True,
             )
-            for _ in range(count)
-        ]
-        for worker in workers:
-            worker.start()
+            slot.process.start()
+            return slot
+
+        max_restarts = (
+            0 if self.retry is None
+            else self.workers * max(self.retry.max_attempts - 1, 1)
+        )
+        slots = [spawn() for _ in range(min(self.workers, total))]
+        attempts: dict[tuple[str, int], int] = {}
+        completed: set[tuple[str, int]] = set()
         column_counts = {
             name: len(self.engine.bound_table(name).column_names) for name in muxes
         }
         try:
             next_index = 0
-            completed = 0
-            while completed < total:
-                while next_index < total and window.try_acquire():
-                    task_queue.put(packages[next_index][0])
+            done = 0
+            while done < total:
+                alive = [slot for slot in slots if slot.process.is_alive()]
+                while alive and next_index < total and window.try_acquire():
+                    package, _ = packages[next_index]
+                    slot = min(alive, key=lambda s: len(s.assigned))
+                    key = (package.table, package.sequence)
+                    slot.queue.put(package)
+                    slot.assigned[key] = package
+                    attempts.setdefault(key, 1)
                     next_index += 1
                 try:
-                    message = result_queue.get(timeout=1.0)
+                    message = result_queue.get(timeout=0.5)
                 except Empty:
-                    crashed = [
-                        worker.exitcode for worker in workers
-                        if not worker.is_alive() and worker.exitcode not in (0, None)
-                    ]
-                    if crashed:
-                        raise SchedulingError(
-                            f"generation worker process died with exit code "
-                            f"{crashed[0]}"
-                        ) from None
-                    if not any(worker.is_alive() for worker in workers):
-                        raise SchedulingError(
-                            "all generation worker processes exited before "
-                            "the run completed"
-                        ) from None
+                    self._recover_dead_workers(
+                        slots, spawn, attempts, recovery, max_restarts
+                    )
                     continue
                 if message[0] == "error":
                     _, kind, text, trace = message
@@ -606,6 +899,15 @@ class Scheduler:
                         f"generation worker failed: {kind}: {text}\n{trace}"
                     )
                 _, table, sequence, chunk, rows, elapsed, hits, misses = message
+                key = (table, sequence)
+                if key in completed:
+                    # A worker finished this package just before dying;
+                    # the requeued redo produced it again. One copy is
+                    # already at the sink — drop the duplicate.
+                    continue
+                completed.add(key)
+                for slot in slots:
+                    slot.assigned.pop(key, None)
                 muxes[table].submit(sequence, chunk)
                 table_stats = stats[table]
                 table_stats.rows += rows
@@ -619,17 +921,74 @@ class Scheduler:
                     )
                 if self.progress is not None:
                     self.progress.add(table, rows, len(chunk))
-                completed += 1
+                done += 1
         finally:
-            for _ in workers:
-                task_queue.put(None)
-            for worker in workers:
-                worker.join(timeout=10)
-                if worker.is_alive():  # pragma: no cover - defensive cleanup
-                    worker.terminate()
-                    worker.join(timeout=10)
-            task_queue.close()
+            for slot in slots:
+                if slot.process.is_alive():
+                    slot.queue.put(None)
+            for slot in slots:
+                slot.process.join(timeout=10)
+                if slot.process.is_alive():  # pragma: no cover - defensive cleanup
+                    slot.process.terminate()
+                    slot.process.join(timeout=10)
+            for slot in slots:
+                slot.queue.close()
             result_queue.close()
+
+    def _recover_dead_workers(
+        self,
+        slots: list["_WorkerSlot"],
+        spawn,
+        attempts: dict[tuple[str, int], int],
+        recovery: "_CrashRecovery",
+        max_restarts: int,
+    ) -> None:
+        """Replace crashed workers, requeueing their in-flight packages."""
+        from repro.exceptions import SchedulingError
+
+        for index, slot in enumerate(slots):
+            process = slot.process
+            if process.is_alive():
+                continue
+            crashed = bool(slot.assigned) or process.exitcode not in (0, None)
+            if not crashed:
+                continue
+            if self.retry is None:
+                raise SchedulingError(
+                    f"generation worker process died with exit code "
+                    f"{process.exitcode}"
+                ) from None
+            if recovery.restarts >= max_restarts:
+                raise SchedulingError(
+                    f"generation worker process died with exit code "
+                    f"{process.exitcode} after {recovery.restarts} worker "
+                    "restarts; giving up"
+                ) from None
+            for key in slot.assigned:
+                attempts[key] = attempts.get(key, 1) + 1
+                if attempts[key] > self.retry.max_attempts:
+                    table, sequence = key
+                    raise SchedulingError(
+                        f"work package {sequence} of table {table!r} failed "
+                        f"{self.retry.max_attempts} dispatch attempts "
+                        "(worker crashed every time)"
+                    ) from None
+            # The dead worker's queue may still hold undelivered items;
+            # abandon it wholesale — ``assigned`` is authoritative — and
+            # requeue everything to a fresh replacement.
+            replacement = spawn()
+            for key, package in slot.assigned.items():
+                replacement.queue.put(package)
+                replacement.assigned[key] = package
+            recovery.requeued += len(slot.assigned)
+            recovery.restarts += 1
+            slot.queue.close()
+            slots[index] = replacement
+        if not any(slot.process.is_alive() for slot in slots):
+            raise SchedulingError(
+                "all generation worker processes exited before the run "
+                "completed"
+            ) from None
 
 
 def generate(
@@ -642,11 +1001,16 @@ def generate(
     progress: ProgressMonitor | None = _UNSET,  # type: ignore[assignment]
     backend: str = _UNSET,  # type: ignore[assignment]
     inflight_extra: int = _UNSET,  # type: ignore[assignment]
+    checkpoint: str | None = None,
+    resume_from: str | None = None,
+    retry: RetryPolicy | None = None,
 ) -> RunReport:
     """One-call generation entry point (the public API convenience).
 
     Configuration is keyword-only; the pre-1.1 positional order is still
-    accepted with a :class:`DeprecationWarning`.
+    accepted with a :class:`DeprecationWarning`. The resilience options
+    (``checkpoint``, ``resume_from``, ``retry``) were never positional
+    and pass straight through to :class:`Scheduler`.
     """
     config: dict[str, object] = {
         "workers": workers,
@@ -664,5 +1028,7 @@ def generate(
         if name != "tables" and value is not _UNSET
     }
     return Scheduler(
-        engine, output or OutputConfig(), **scheduler_kwargs
+        engine, output or OutputConfig(),
+        checkpoint=checkpoint, resume_from=resume_from, retry=retry,
+        **scheduler_kwargs,
     ).run(tables)

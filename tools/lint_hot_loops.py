@@ -1,18 +1,29 @@
-"""Hot-loop lint: no per-row calls in scheduler/writer block paths.
+"""Structural lint for scheduler/output paths: hot loops and swallowed errors.
 
-The batch-first fast path (PR: batched generation) only pays off if the
-scheduler work-package loop and the writer block formatters stay on the
-block API (``generate_rows`` / ``write_rows``). A per-row call —
-``generate_row(...)`` or ``write_row(...)`` — sneaking back into those
-files reintroduces per-value interpreter overhead without failing any
-correctness test, so CI guards it structurally.
+Two checks, one AST walk:
+
+**Hot-loop check.** The batch-first fast path (PR: batched generation)
+only pays off if the scheduler work-package loop and the writer block
+formatters stay on the block API (``generate_rows`` / ``write_rows``).
+A per-row call — ``generate_row(...)`` or ``write_row(...)`` — sneaking
+back into those files reintroduces per-value interpreter overhead
+without failing any correctness test, so CI guards it structurally.
+Method *definitions* are fine (writers must still define ``write_row``;
+it is the unit of correctness). Only *calls* are flagged. Waive a
+deliberate per-row call with ``# hot-loop-ok: <reason>`` on the line.
+
+**Swallowed-error check.** Fault tolerance (PR: checkpoint/resume)
+depends on failures *propagating*: a ``try/except Exception`` (or
+``except BaseException``, or a bare ``except:``) whose handler never
+re-raises can silently eat the very errors the retry policy and crash
+recovery exist to handle — including :class:`InjectedCrash`, which the
+fault tests rely on to escape. Any broad handler in the checked scope
+must either contain a ``raise`` or carry a ``# fault-ok: <reason>``
+waiver on its ``except`` line explaining why swallowing is correct
+(e.g. emergency teardown that must not mask the original failure).
+Narrow handlers (``except OSError`` etc.) are never flagged.
 
 Checked scope: ``src/repro/scheduler/`` and ``src/repro/output/``.
-Method *definitions* are fine (writers must still define ``write_row``;
-it is the unit of correctness). Only *calls* are flagged. A deliberate
-per-row call (e.g. the ``RowWriter.write_rows`` fallback, which is the
-contract's definition of correct bytes) is waived by putting
-``# hot-loop-ok: <reason>`` on the offending line.
 
 Usage: ``python tools/lint_hot_loops.py`` (exit 1 on violations).
 """
@@ -27,6 +38,8 @@ REPO = Path(__file__).resolve().parent.parent
 CHECKED_DIRS = ("src/repro/scheduler", "src/repro/output")
 BANNED_CALLS = ("generate_row", "write_row")
 WAIVER = "hot-loop-ok"
+FAULT_WAIVER = "fault-ok"
+BROAD_EXCEPTIONS = ("Exception", "BaseException")
 
 
 def _call_name(node: ast.Call) -> str | None:
@@ -38,24 +51,57 @@ def _call_name(node: ast.Call) -> str | None:
     return None
 
 
+def _is_broad_handler(handler: ast.ExceptHandler) -> bool:
+    """``except:``, ``except Exception``, or ``except BaseException``
+    (bare name or attribute tail, with or without ``as``)."""
+    exc_type = handler.type
+    if exc_type is None:
+        return True  # bare except:
+    names = exc_type.elts if isinstance(exc_type, ast.Tuple) else [exc_type]
+    for name in names:
+        if isinstance(name, ast.Name) and name.id in BROAD_EXCEPTIONS:
+            return True
+        if isinstance(name, ast.Attribute) and name.attr in BROAD_EXCEPTIONS:
+            return True
+    return False
+
+
+def _reraises(handler: ast.ExceptHandler) -> bool:
+    """True if any statement in the handler body raises."""
+    return any(isinstance(node, ast.Raise) for node in ast.walk(handler))
+
+
 def check_file(path: Path) -> list[str]:
     source = path.read_text(encoding="utf-8")
     lines = source.splitlines()
     violations = []
     for node in ast.walk(ast.parse(source, filename=str(path))):
-        if not isinstance(node, ast.Call):
-            continue
-        name = _call_name(node)
-        if name not in BANNED_CALLS:
-            continue
-        line = lines[node.lineno - 1]
-        if WAIVER in line:
-            continue
-        violations.append(
-            f"{path.relative_to(REPO)}:{node.lineno}: per-row call "
-            f"{name}() in a batch hot-loop file; use the block API "
-            f"(generate_rows/write_rows) or waive with '# {WAIVER}: <reason>'"
-        )
+        if isinstance(node, ast.Call):
+            name = _call_name(node)
+            if name not in BANNED_CALLS:
+                continue
+            line = lines[node.lineno - 1]
+            if WAIVER in line:
+                continue
+            violations.append(
+                f"{path.relative_to(REPO)}:{node.lineno}: per-row call "
+                f"{name}() in a batch hot-loop file; use the block API "
+                f"(generate_rows/write_rows) or waive with '# {WAIVER}: <reason>'"
+            )
+        elif isinstance(node, ast.ExceptHandler):
+            if not _is_broad_handler(node):
+                continue
+            if _reraises(node):
+                continue
+            line = lines[node.lineno - 1]
+            if FAULT_WAIVER in line:
+                continue
+            violations.append(
+                f"{path.relative_to(REPO)}:{node.lineno}: broad exception "
+                "handler swallows errors in a fault-tolerance path; re-raise, "
+                "narrow the exception type, or waive with "
+                f"'# {FAULT_WAIVER}: <reason>'"
+            )
     return violations
 
 
