@@ -75,7 +75,8 @@ def _load_engine(args: argparse.Namespace) -> GenerationEngine:
 
 def _add_telemetry_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
-        "--trace", metavar="FILE", help="write a JSONL span log of the run"
+        "--trace", metavar="FILE",
+        help="write a JSONL span log of the run (.gz compresses)",
     )
     parser.add_argument(
         "--metrics", metavar="FILE", help="write a Prometheus-style metrics dump"
@@ -83,29 +84,68 @@ def _add_telemetry_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--summary", action="store_true", help="print a telemetry summary after the run"
     )
+    parser.add_argument(
+        "--obs-port", type=int, metavar="PORT",
+        help="serve live /metrics, /progress and /trace on this loopback "
+        "port while the run is in flight (0 picks a free port)",
+    )
+    parser.add_argument(
+        "--profile", metavar="FILE",
+        help="run a sampling profiler and write collapsed stacks to FILE "
+        "(flamegraph input); also adds per-stage attribution to --summary",
+    )
 
 
 def _telemetry_begin(args: argparse.Namespace):
-    """Enable tracing/metrics per the CLI flags; returns (tracer, registry)."""
-    wants_trace = bool(args.trace or args.summary)
-    wants_metrics = bool(args.metrics or args.summary)
+    """Enable collectors per the CLI flags.
+
+    Returns ``(tracer, registry, profiler, server)`` — ``--obs-port``
+    implies tracing and metrics (the live endpoint would otherwise have
+    nothing to serve) and prints the bound URL to stderr.
+    """
+    wants_live = getattr(args, "obs_port", None) is not None
+    wants_trace = bool(args.trace or args.summary) or wants_live
+    wants_metrics = bool(args.metrics or args.summary) or wants_live
     tracer = obs.enable_tracing() if wants_trace else None
     registry = obs.enable_metrics() if wants_metrics else None
-    return tracer, registry
+    profiler = (
+        obs.enable_profiling() if getattr(args, "profile", None) else None
+    )
+    server = None
+    if wants_live:
+        server = obs.ObsServer(port=args.obs_port).start()
+        print(f"obs endpoint: {server.url}", file=sys.stderr)
+    return tracer, registry, profiler, server
 
 
-def _telemetry_end(args: argparse.Namespace, tracer, registry) -> None:
+def _telemetry_end(
+    args: argparse.Namespace, tracer, registry, profiler=None, server=None
+) -> None:
     """Export telemetry per the CLI flags, then reset the global state."""
     try:
+        if server is not None:
+            server.stop()
         if tracer is not None and args.trace:
             spans = obs.write_trace_jsonl(tracer, args.trace)
             print(f"trace: {spans} spans written to {args.trace}")
         if registry is not None and args.metrics:
             obs.write_metrics_text(registry, args.metrics)
             print(f"metrics written to {args.metrics}")
+        if profiler is not None:
+            profiler.stop()
+            samples = profiler.write_collapsed(args.profile)
+            print(f"profile: {samples} samples written to {args.profile}")
         if args.summary:
             for line in obs.summary_lines(registry, tracer):
                 print(line)
+            if profiler is not None:
+                for stage in profiler.stage_attribution():
+                    print(
+                        f"profile {stage.stage:<16} {stage.fraction:6.1%} "
+                        f"wall {stage.wall_seconds:.2f} s "
+                        f"cpu {stage.cpu_seconds:.2f} s "
+                        f"({stage.samples} samples)"
+                    )
     finally:
         obs.reset()
 
@@ -135,7 +175,7 @@ def _cmd_extract(args: argparse.Namespace) -> int:
             fraction=args.sample_fraction, strategy=args.strategy
         ),
     )
-    tracer, registry = _telemetry_begin(args)
+    tracer, registry, profiler, server = _telemetry_begin(args)
     try:
         project = DBSynthProject(name=args.name, source=source, build_options=options)
         project.extract()
@@ -164,7 +204,7 @@ def _cmd_extract(args: argparse.Namespace) -> int:
         source.close()
         return 0
     finally:
-        _telemetry_end(args, tracer, registry)
+        _telemetry_end(args, tracer, registry, profiler, server)
 
 
 def _cmd_preview(args: argparse.Namespace) -> int:
@@ -181,7 +221,7 @@ def _cmd_preview(args: argparse.Namespace) -> int:
 
 
 def _cmd_generate(args: argparse.Namespace) -> int:
-    tracer, registry = _telemetry_begin(args)
+    tracer, registry, profiler, server = _telemetry_begin(args)
     try:
         engine = _load_engine(args)
         output = OutputConfig(
@@ -210,6 +250,8 @@ def _cmd_generate(args: argparse.Namespace) -> int:
             engine.sizes,
             callback=print_progress if not args.quiet else None,
         )
+        if server is not None:
+            server.attach_progress(progress)
         if args.resume and not args.checkpoint:
             raise ReproError("--resume requires --checkpoint DIR")
         retry = None
@@ -258,7 +300,7 @@ def _cmd_generate(args: argparse.Namespace) -> int:
                 )
         return 0
     finally:
-        _telemetry_end(args, tracer, registry)
+        _telemetry_end(args, tracer, registry, profiler, server)
 
 
 def _cmd_translate(args: argparse.Namespace) -> int:
@@ -308,15 +350,26 @@ def _cmd_stats(args: argparse.Namespace) -> int:
             return 0
         print(f"{len(records)} spans, "
               f"{len({r.thread_id for r in records})} threads")
-        print(f"{'span':<28} {'count':>7} {'total ms':>12} {'mean ms':>10} "
-              f"{'max ms':>10}")
-        for agg in obs.aggregate_spans(records):
-            print(
-                f"{agg.name:<28} {agg.count:>7} "
-                f"{agg.total_seconds * 1000:>12.1f} "
-                f"{agg.mean_seconds * 1000:>10.2f} "
-                f"{agg.max_seconds * 1000:>10.2f}"
-            )
+        if args.tree:
+            # The stitched view: one tree whatever backend (or cluster)
+            # produced the trace, worker/node spans included.
+            for line in obs.render_span_tree(records):
+                print(line)
+        else:
+            print(f"{'span':<28} {'count':>7} {'total ms':>12} {'mean ms':>10} "
+                  f"{'max ms':>10}")
+            for agg in obs.aggregate_spans(records):
+                print(
+                    f"{agg.name:<28} {agg.count:>7} "
+                    f"{agg.total_seconds * 1000:>12.1f} "
+                    f"{agg.mean_seconds * 1000:>10.2f} "
+                    f"{agg.max_seconds * 1000:>10.2f}"
+                )
+        totals = obs.table_totals(records)
+        if totals:
+            print("per-table package totals:")
+            for name, (rows, bytes_written) in sorted(totals.items()):
+                print(f"  {name:<16} {rows:>12,} rows {bytes_written:>14,} bytes")
         return 0
 
     engine = _load_engine(args)
@@ -500,7 +553,13 @@ def build_parser() -> argparse.ArgumentParser:
     _add_model_args(stats)
     stats.add_argument(
         "--trace", dest="trace_file", metavar="FILE",
-        help="span JSONL log to summarize (from generate/extract --trace)",
+        help="span JSONL log to summarize (from generate/extract --trace; "
+        ".gz and interrupted logs are read fine)",
+    )
+    stats.add_argument(
+        "--tree", action="store_true",
+        help="render the trace as one stitched span tree instead of "
+        "aggregate rows (worker and cluster-node spans included)",
     )
     stats.add_argument("--table", help="restrict to one table")
     stats.add_argument(

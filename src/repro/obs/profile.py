@@ -1,0 +1,236 @@
+"""Sampling profiler: collapsed stacks and per-stage attribution.
+
+PDGF's evaluation attributes run time to pipeline stages (the Figure 7-9
+per-value breakdowns); this module produces the same attribution for a
+live run without instrumenting hot loops. A background thread wakes
+``hz`` times per second, snapshots every other thread's stack via
+``sys._current_frames()``, and counts collapsed stacks — the
+``a;b;c 42`` format flamegraph tooling consumes directly.
+
+No ``signal`` handlers and no ``sys.setprofile`` tracing: the sampler
+never touches the profiled threads, so the measured code runs at full
+speed and the overhead is the sampler thread's own work (<5% at the
+default 100 Hz, measured in EXPERIMENTS.md). The cost scales with
+sampling rate, not with the number of spans or rows.
+
+Process-backend runs profile both sides: the parent's sampler covers
+scheduling and sink writes, each worker runs its own sampler (activated
+by the scheduler's :class:`~repro.obs.stitch.WorkerTelemetry`) and ships
+its folded counts back on shutdown; :meth:`SamplingProfiler.merge_counts`
+unifies them into one profile.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+import time
+from collections import Counter as CollectionsCounter
+from dataclasses import dataclass
+
+from repro.exceptions import ReproError
+
+#: default sampling rate, Hz (10 ms period).
+DEFAULT_HZ = 100.0
+
+#: repro subsystems reported as stages; leaf-most match wins.
+_STAGE_PREFIX = "repro."
+
+
+@dataclass(frozen=True)
+class StageProfile:
+    """One pipeline stage's share of the sampled run.
+
+    ``wall_seconds`` and ``cpu_seconds`` are estimates: the stage's
+    sample fraction applied to the sampler's elapsed wall clock and the
+    process CPU clock (``time.process_time``) respectively — accurate to
+    the sampling period, like any statistical profiler.
+    """
+
+    stage: str
+    samples: int
+    fraction: float
+    wall_seconds: float
+    cpu_seconds: float
+
+
+def _frame_label(frame) -> str:
+    code = frame.f_code
+    module = frame.f_globals.get("__name__", "?")
+    return f"{module}.{code.co_name}"
+
+
+def _stage_of(stack: tuple[str, ...]) -> str:
+    """The stage of one collapsed stack: its leaf-most repro subsystem
+    (``repro.generators.*`` → ``generators``), or ``other``."""
+    for label in reversed(stack):
+        if label.startswith(_STAGE_PREFIX):
+            remainder = label[len(_STAGE_PREFIX):]
+            return remainder.split(".", 1)[0]
+    return "other"
+
+
+class SamplingProfiler:
+    """Samples every thread's stack from a background thread.
+
+    ``start``/``stop`` bracket the measured region; ``collapsed_lines``
+    and :meth:`write_collapsed` export flamegraph input;
+    :meth:`stage_attribution` rolls samples up per repro subsystem.
+    """
+
+    def __init__(self, hz: float = DEFAULT_HZ) -> None:
+        if hz <= 0:
+            raise ReproError(f"sampling rate must be positive, got {hz}")
+        self.hz = hz
+        self.interval = 1.0 / hz
+        self._counts: CollectionsCounter[tuple[str, ...]] = CollectionsCounter()
+        self._lock = threading.Lock()
+        self._stop_event = threading.Event()
+        self._thread: threading.Thread | None = None
+        self._started_wall = 0.0
+        self._started_cpu = 0.0
+        self.wall_seconds = 0.0
+        self.cpu_seconds = 0.0
+        self.samples = 0
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> "SamplingProfiler":
+        if self._thread is not None:
+            raise ReproError("profiler already started")
+        self._started_wall = time.perf_counter()
+        self._started_cpu = time.process_time()
+        self._stop_event.clear()
+        self._thread = threading.Thread(
+            target=self._sample_loop, name="repro-profiler", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        thread = self._thread
+        if thread is None:
+            return
+        self._stop_event.set()
+        thread.join(timeout=5)
+        self._thread = None
+        self.wall_seconds += time.perf_counter() - self._started_wall
+        self.cpu_seconds += time.process_time() - self._started_cpu
+
+    def __enter__(self) -> "SamplingProfiler":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+    def _sample_loop(self) -> None:
+        own_id = threading.get_ident()
+        stop = self._stop_event
+        interval = self.interval
+        while not stop.wait(interval):
+            frames = sys._current_frames()
+            sampled: list[tuple[str, ...]] = []
+            for thread_id, frame in frames.items():
+                if thread_id == own_id:
+                    continue
+                stack: list[str] = []
+                while frame is not None:
+                    stack.append(_frame_label(frame))
+                    frame = frame.f_back
+                stack.reverse()
+                sampled.append(tuple(stack))
+            with self._lock:
+                for stack in sampled:
+                    self._counts[stack] += 1
+                self.samples += len(sampled)
+
+    # -- export --------------------------------------------------------------
+
+    def export_counts(self) -> dict[str, int]:
+        """Folded counts as plain dicts (queue-safe, for worker → parent)."""
+        with self._lock:
+            return {";".join(stack): count for stack, count in self._counts.items()}
+
+    def merge_counts(self, folded: dict[str, int] | None) -> None:
+        """Fold another profiler's exported counts into this one."""
+        if not folded:
+            return
+        with self._lock:
+            for line, count in folded.items():
+                key = tuple(line.split(";"))
+                self._counts[key] += count
+                self.samples += count
+
+    def collapsed_lines(self) -> list[str]:
+        """Collapsed-stack lines (``frame;frame;frame count``) sorted by
+        count — feed straight into ``flamegraph.pl`` or speedscope."""
+        with self._lock:
+            items = sorted(
+                self._counts.items(), key=lambda item: item[1], reverse=True
+            )
+        return [f"{';'.join(stack)} {count}" for stack, count in items]
+
+    def write_collapsed(self, path: str) -> int:
+        """Write collapsed stacks to *path*; returns total samples."""
+        lines = self.collapsed_lines()
+        try:
+            with open(path, "w", encoding="utf-8") as handle:
+                handle.write("\n".join(lines) + ("\n" if lines else ""))
+        except OSError as exc:
+            raise ReproError(f"cannot write profile {path!r}: {exc}") from exc
+        with self._lock:
+            return self.samples
+
+    def stage_attribution(self) -> list[StageProfile]:
+        """Samples rolled up per repro subsystem, largest share first."""
+        with self._lock:
+            counts = dict(self._counts)
+            total = self.samples
+        wall = self.wall_seconds or (
+            time.perf_counter() - self._started_wall if self._thread else 0.0
+        )
+        cpu = self.cpu_seconds or (
+            time.process_time() - self._started_cpu if self._thread else 0.0
+        )
+        stages: CollectionsCounter[str] = CollectionsCounter()
+        for stack, count in counts.items():
+            stages[_stage_of(stack)] += count
+        profiles = [
+            StageProfile(
+                stage=stage,
+                samples=count,
+                fraction=count / total if total else 0.0,
+                wall_seconds=(count / total) * wall if total else 0.0,
+                cpu_seconds=(count / total) * cpu if total else 0.0,
+            )
+            for stage, count in stages.items()
+        ]
+        profiles.sort(key=lambda p: p.samples, reverse=True)
+        return profiles
+
+
+# -- process-global state ----------------------------------------------------
+
+_profiler: SamplingProfiler | None = None
+
+
+def enable_profiling(hz: float = DEFAULT_HZ) -> SamplingProfiler:
+    """Start (and install) a process-wide sampling profiler."""
+    global _profiler
+    if _profiler is not None:
+        return _profiler
+    _profiler = SamplingProfiler(hz).start()
+    return _profiler
+
+
+def disable_profiling() -> None:
+    """Stop and uninstall the process profiler (idempotent)."""
+    global _profiler
+    profiler = _profiler
+    _profiler = None
+    if profiler is not None:
+        profiler.stop()
+
+
+def active_profiler() -> SamplingProfiler | None:
+    return _profiler

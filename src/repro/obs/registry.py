@@ -150,6 +150,43 @@ class Histogram(Metric):
     def labels(self, **labels: object) -> "BoundHistogram":
         return BoundHistogram(self, _label_key(labels))
 
+    def quantile(self, q: float, **labels: object) -> float:
+        """Estimated *q*-quantile (0 < q < 1) for one label set.
+
+        Standard bucketed-histogram estimation: find the bucket holding
+        the q-th observation and interpolate linearly inside it. The
+        error is therefore bounded by the bucket width — observations
+        are assumed uniform within a bucket. Values landing in the +Inf
+        bucket clamp to the largest finite bound (the estimate cannot
+        exceed what the buckets resolve). Returns 0.0 with no
+        observations.
+        """
+        if not 0.0 < q < 1.0:
+            raise ReproError(f"quantile must be in (0, 1), got {q}")
+        with self._lock:
+            state = self._values.get(_label_key(labels))
+            if state is None or not state.count:  # type: ignore[union-attr]
+                return 0.0
+            counts = list(state.counts)  # type: ignore[union-attr]
+            total = state.count  # type: ignore[union-attr]
+        rank = q * total
+        cumulative = 0
+        for index, count in enumerate(counts):
+            previous = cumulative
+            cumulative += count
+            if cumulative >= rank and count:
+                upper = (
+                    self.bounds[index]
+                    if index < len(self.bounds)
+                    else self.bounds[-1]
+                )
+                if index >= len(self.bounds):
+                    return upper  # +Inf bucket: clamp to last finite bound
+                lower = self.bounds[index - 1] if index > 0 else 0.0
+                fraction = (rank - previous) / count
+                return lower + (upper - lower) * fraction
+        return self.bounds[-1]
+
     def snapshot(self, **labels: object) -> dict[str, object]:
         """Cumulative bucket counts plus sum/count for one label set."""
         with self._lock:
@@ -238,6 +275,96 @@ class MetricsRegistry:
     def get(self, name: str) -> Metric | None:
         with self._lock:
             return self._metrics.get(name)
+
+    # -- cross-process propagation -------------------------------------------
+
+    def export_deltas(self, reset: bool = True) -> dict:
+        """This registry's state as plain picklable dicts.
+
+        Worker processes call this after each package (with the default
+        ``reset=True``, which zeroes counter/histogram accumulation) so
+        each result-queue message carries only the *delta* since the
+        previous one; the parent folds deltas in with
+        :meth:`merge_deltas`. Gauges are not resettable — they export
+        their current values and merge by maximum (the only gauge
+        semantics that compose across processes without a clock).
+        """
+        counters: list[dict] = []
+        gauges: list[dict] = []
+        histograms: list[dict] = []
+        for metric in self.metrics():
+            if isinstance(metric, Histogram):
+                with metric._lock:
+                    values = {
+                        key: (list(state.counts), state.sum, state.count)
+                        for key, state in metric._values.items()
+                        if state.count  # type: ignore[union-attr]
+                    }
+                    if reset:
+                        metric._values.clear()
+                if values:
+                    histograms.append({
+                        "name": metric.name,
+                        "description": metric.description,
+                        "bounds": list(metric.bounds),
+                        "values": [
+                            [list(key), counts, total, count]
+                            for key, (counts, total, count) in values.items()
+                        ],
+                    })
+            elif isinstance(metric, Counter):
+                with metric._lock:
+                    values = {k: v for k, v in metric._values.items() if v}
+                    if reset:
+                        metric._values.clear()
+                if values:
+                    counters.append({
+                        "name": metric.name,
+                        "description": metric.description,
+                        "values": [[list(key), value] for key, value in values.items()],
+                    })
+            elif isinstance(metric, Gauge):
+                with metric._lock:
+                    values = dict(metric._values)
+                if values:
+                    gauges.append({
+                        "name": metric.name,
+                        "description": metric.description,
+                        "values": [[list(key), value] for key, value in values.items()],
+                    })
+        return {"counters": counters, "gauges": gauges, "histograms": histograms}
+
+    def merge_deltas(self, deltas: dict | None) -> None:
+        """Fold a worker's :meth:`export_deltas` payload into this
+        registry: counters and histogram states add, gauges keep the
+        maximum ever seen."""
+        if not deltas:
+            return
+        for entry in deltas.get("counters", ()):
+            counter = self.counter(entry["name"], entry.get("description", ""))
+            for raw_key, value in entry["values"]:
+                key = tuple(tuple(pair) for pair in raw_key)
+                with counter._lock:
+                    counter._values[key] = counter._values.get(key, 0) + value
+        for entry in deltas.get("gauges", ()):
+            gauge = self.gauge(entry["name"], entry.get("description", ""))
+            for raw_key, value in entry["values"]:
+                gauge.set_max(value, **dict(tuple(pair) for pair in raw_key))
+        for entry in deltas.get("histograms", ()):
+            histogram = self.histogram(
+                entry["name"], entry["bounds"], entry.get("description", "")
+            )
+            for raw_key, counts, total, count in entry["values"]:
+                key = tuple(tuple(pair) for pair in raw_key)
+                with histogram._lock:
+                    state = histogram._values.get(key)
+                    if state is None:
+                        state = _HistogramState(len(histogram.bounds))
+                        histogram._values[key] = state
+                    for index, bucket_count in enumerate(counts):
+                        state.counts[index] += bucket_count  # type: ignore[union-attr]
+                    state.sum += total  # type: ignore[union-attr]
+                    state.count += count  # type: ignore[union-attr]
 
 
 # -- process-global state ----------------------------------------------------

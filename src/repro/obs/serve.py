@@ -1,0 +1,171 @@
+"""Live run telemetry over HTTP: /metrics, /progress, /trace.
+
+PDGF exposes per-table progress and throughput over JMX while a run is
+in flight (paper §5); this is the reproduction's equivalent — and the
+first brick of the data-as-a-service direction on the ROADMAP. A
+:class:`ObsServer` is a stdlib ``http.server`` on a background daemon
+thread, **off by default** and bound to loopback unless asked otherwise:
+
+* ``GET /metrics``  — the active registry in Prometheus text format
+  (including the estimated ``_p50/_p95/_p99`` quantile families);
+* ``GET /progress`` — per-table and total progress JSON from the run's
+  :class:`~repro.scheduler.progress.ProgressMonitor`;
+* ``GET /trace``    — the most recent finished spans as JSONL
+  (``?n=`` caps the count, default 256);
+* ``GET /``         — an index of the endpoints plus the obs state
+  generation (see :func:`repro.obs.state`).
+
+Handlers snapshot the obs globals once per request (tracer, registry,
+and the generation counter), so a concurrent ``obs.reset()`` can never
+tear a response — the response describes one consistent generation.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qs, urlparse
+
+from repro.exceptions import ReproError
+from repro.obs.export import render_prometheus, span_jsonl_lines
+
+DEFAULT_TRACE_SPANS = 256
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server_version = "repro-obs"
+
+    # The server object carries the observed state; handlers are
+    # per-request and stateless.
+    def _send(self, status: int, content_type: str, body: str) -> None:
+        payload = body.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(payload)))
+        self.end_headers()
+        self.wfile.write(payload)
+
+    def log_message(self, format: str, *args: object) -> None:
+        pass  # silence per-request stderr noise during runs
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server contract
+        from repro import obs
+
+        parsed = urlparse(self.path)
+        generation, tracer, registry, _profiler = obs.state()
+        try:
+            if parsed.path in ("/", "/index"):
+                self._send(200, "application/json", json.dumps({
+                    "service": "repro.obs",
+                    "generation": generation,
+                    "endpoints": ["/metrics", "/progress", "/trace"],
+                    "tracing": tracer is not None,
+                    "metrics": registry is not None,
+                }, indent=2) + "\n")
+            elif parsed.path == "/metrics":
+                if registry is None:
+                    self._send(200, "text/plain; version=0.0.4",
+                               "# no metrics registry active\n")
+                else:
+                    self._send(200, "text/plain; version=0.0.4",
+                               render_prometheus(registry))
+            elif parsed.path == "/progress":
+                monitor = self.server.progress  # type: ignore[attr-defined]
+                if monitor is None:
+                    self._send(404, "application/json",
+                               '{"error": "no progress monitor attached"}\n')
+                else:
+                    self._send(200, "application/json",
+                               json.dumps(monitor.as_dict(), indent=2) + "\n")
+            elif parsed.path == "/trace":
+                if tracer is None:
+                    self._send(404, "application/json",
+                               '{"error": "tracing not enabled"}\n')
+                else:
+                    query = parse_qs(parsed.query)
+                    try:
+                        limit = int(query.get("n", [DEFAULT_TRACE_SPANS])[0])
+                    except ValueError:
+                        limit = DEFAULT_TRACE_SPANS
+                    recent = tracer.recent_spans(limit)
+                    lines = span_jsonl_lines(recent, tracer.epoch_wall)
+                    self._send(200, "application/x-ndjson", "\n".join(lines) + "\n")
+            else:
+                self._send(404, "application/json", '{"error": "not found"}\n')
+        except BrokenPipeError:  # pragma: no cover - client went away
+            pass
+
+
+class ObsServer:
+    """The background telemetry endpoint of one run.
+
+    ``port=0`` binds an ephemeral port (read it back from ``.port``);
+    ``host`` defaults to loopback — exposing run telemetry beyond the
+    machine is an explicit operator decision. ``progress`` attaches a
+    :class:`~repro.scheduler.progress.ProgressMonitor` for ``/progress``.
+    """
+
+    def __init__(
+        self,
+        port: int = 0,
+        host: str = "127.0.0.1",
+        progress=None,
+    ) -> None:
+        self.host = host
+        self.requested_port = port
+        self.progress = progress
+        self._server: ThreadingHTTPServer | None = None
+        self._thread: threading.Thread | None = None
+
+    @property
+    def port(self) -> int:
+        if self._server is None:
+            raise ReproError("obs server not started")
+        return self._server.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def attach_progress(self, progress) -> None:
+        """Attach (or swap) the monitor behind ``/progress`` — callers
+        often bind the port before the run's monitor exists."""
+        self.progress = progress
+        if self._server is not None:
+            self._server.progress = progress  # type: ignore[attr-defined]
+
+    def start(self) -> "ObsServer":
+        if self._server is not None:
+            raise ReproError("obs server already started")
+        try:
+            server = ThreadingHTTPServer((self.host, self.requested_port), _Handler)
+        except OSError as exc:
+            raise ReproError(
+                f"cannot bind obs endpoint on {self.host}:{self.requested_port}: {exc}"
+            ) from exc
+        server.daemon_threads = True
+        server.progress = self.progress  # type: ignore[attr-defined]
+        self._server = server
+        self._thread = threading.Thread(
+            target=server.serve_forever, name="repro-obs-serve", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        server = self._server
+        if server is None:
+            return
+        server.shutdown()
+        server.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+        self._server = None
+        self._thread = None
+
+    def __enter__(self) -> "ObsServer":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()

@@ -179,6 +179,34 @@ class Tracer:
         with self._lock:
             return list(self._records)
 
+    def recent_spans(self, limit: int) -> list[SpanRecord]:
+        """The last *limit* finished spans (live-endpoint view)."""
+        with self._lock:
+            if limit <= 0:
+                return []
+            return list(self._records[-limit:])
+
+    def drain(self) -> list[SpanRecord]:
+        """Remove and return every finished span.
+
+        Workers drain after each package so a payload carries only the
+        spans of that package, never a growing history.
+        """
+        with self._lock:
+            records = list(self._records)
+            self._records.clear()
+        return records
+
+    def adopt(self, record: SpanRecord) -> None:
+        """Append a pre-built record (stitching spans from another
+        process); the record's ids must come from :meth:`allocate_id`."""
+        with self._lock:
+            self._records.append(record)
+
+    def allocate_id(self) -> int:
+        """A fresh span id from this tracer's sequence (for adoption)."""
+        return next(self._ids)
+
     def clear(self) -> None:
         with self._lock:
             self._records.clear()

@@ -10,6 +10,13 @@ The paper's 24-node cluster is simulated: each "node" runs as a separate
 OS process (its own interpreter, its own engine built from the pickled
 model), which preserves the shared-nothing structure of the experiment
 on one machine.
+
+Cluster runs are no telemetry black hole either: when the parent has
+collectors active, each node process runs its own (a ``meta.node`` span
+wrapping its whole share, plus a fresh registry and optional profiler),
+ships the results back inside its :class:`NodeReport`, and the parent
+stitches everything under one ``meta.run`` span — the cluster analogue
+of the scheduler's worker-span stitching.
 """
 
 from __future__ import annotations
@@ -22,7 +29,16 @@ from dataclasses import dataclass
 from repro.engine import GenerationEngine
 from repro.exceptions import SchedulingError
 from repro.generators.base import ArtifactStore
-from repro.obs import throughput_mb_per_s
+from repro.obs import (
+    WorkerTelemetry,
+    active_metrics,
+    active_profiler,
+    active_tracer,
+    span,
+    span_payload,
+    stitch_spans,
+    throughput_mb_per_s,
+)
 from repro.model.schema import Schema
 from repro.output.config import OutputConfig
 from repro.scheduler.scheduler import RunReport, Scheduler
@@ -31,12 +47,19 @@ from repro.scheduler.work import DEFAULT_PACKAGE_SIZE, node_share
 
 @dataclass(frozen=True)
 class NodeReport:
-    """Result of one node's share of a multi-node run."""
+    """Result of one node's share of a multi-node run.
+
+    ``telemetry`` carries the node process's exported collectors back to
+    the parent (span payload, metric deltas, folded profile counts) —
+    ``None`` for sequential in-process nodes, which record straight into
+    the ambient collectors.
+    """
 
     node: int
     rows: int
     bytes_written: int
     seconds: float
+    telemetry: dict | None = None
 
 
 @dataclass(frozen=True)
@@ -119,14 +142,46 @@ def run_node(
 
 
 def _node_worker(args: tuple) -> NodeReport:
-    """Child-process body for the simulated cluster."""
+    """Child/sequential body for one simulated cluster node.
+
+    ``telemetry`` is ``None`` for sequential in-process nodes (the
+    ambient collectors see their spans directly) and a
+    :class:`~repro.obs.stitch.WorkerTelemetry` for pool nodes, which —
+    like scheduler worker processes — must reset the forked copy of the
+    parent's collectors and run their own, exporting everything for the
+    parent to stitch.
+    """
+    from repro import obs
+
     (schema, nodes, node, output, artifacts, workers, package_size,
-     checkpoint, resume_from, retry) = args
-    report = run_node(
-        schema, nodes, node, output, artifacts, workers, package_size,
-        checkpoint, resume_from, retry,
+     checkpoint, resume_from, retry, telemetry) = args
+    tracer = registry = profiler = None
+    if telemetry is not None:
+        obs.reset()
+        if telemetry.trace:
+            tracer = obs.enable_tracing()
+        if telemetry.metrics:
+            registry = obs.enable_metrics()
+        if telemetry.profile:
+            profiler = obs.enable_profiling(telemetry.profile_hz)
+    with span("meta.node", node=node, nodes=nodes):
+        report = run_node(
+            schema, nodes, node, output, artifacts, workers, package_size,
+            checkpoint, resume_from, retry,
+        )
+    payload = None
+    if telemetry is not None:
+        if profiler is not None:
+            profiler.stop()
+        payload = {
+            "spans": span_payload(tracer) if tracer is not None else None,
+            "metrics": registry.export_deltas() if registry is not None else None,
+            "profile": profiler.export_counts() if profiler is not None else None,
+        }
+        obs.reset()
+    return NodeReport(
+        node, report.rows, report.bytes_written, report.seconds, payload
     )
-    return NodeReport(node, report.rows, report.bytes_written, report.seconds)
 
 
 class MetaScheduler:
@@ -160,6 +215,20 @@ class MetaScheduler:
     def run(self, nodes: int, processes: bool = True) -> ClusterReport:
         if nodes < 1:
             raise SchedulingError(f"node count must be >= 1, got {nodes}")
+        tracer = active_tracer()
+        registry = active_metrics()
+        profiler = active_profiler()
+        pooled = processes and nodes > 1
+        node_telemetry = None
+        if pooled and (
+            tracer is not None or registry is not None or profiler is not None
+        ):
+            node_telemetry = WorkerTelemetry(
+                trace=tracer is not None,
+                metrics=registry is not None,
+                profile=profiler is not None,
+                profile_hz=profiler.hz if profiler is not None else 100.0,
+            )
         job_args = [
             (
                 self.schema,
@@ -172,17 +241,37 @@ class MetaScheduler:
                 self.checkpoint,
                 self.resume_from,
                 self.retry,
+                node_telemetry,
             )
             for node in range(nodes)
         ]
-        if not processes or nodes == 1:
-            # Sequential execution: per-node times are the only clock.
-            return ClusterReport([_node_worker(args) for args in job_args])
-        context = multiprocessing.get_context("fork")
-        started = time.perf_counter()
-        with context.Pool(processes=nodes) as pool:
-            reports = pool.map(_node_worker, job_args)
-        wall = time.perf_counter() - started
+        with span("meta.run", nodes=nodes, processes=pooled) as meta_span:
+            if not pooled:
+                # Sequential execution: per-node times are the only
+                # clock, and node spans nest under meta.run directly.
+                return ClusterReport([_node_worker(args) for args in job_args])
+            meta_span_id = getattr(meta_span, "span_id", None)
+            context = multiprocessing.get_context("fork")
+            started = time.perf_counter()
+            with context.Pool(processes=nodes) as pool:
+                reports = pool.map(_node_worker, job_args)
+            wall = time.perf_counter() - started
+            # Graft each node's subtrace/metrics/profile into the
+            # parent's collectors — ``meta.node`` roots land under the
+            # ``meta.run`` span, one cluster-wide trace.
+            for report in reports:
+                payload = report.telemetry
+                if not payload:
+                    continue
+                if tracer is not None:
+                    stitch_spans(
+                        tracer, payload.get("spans"), parent_id=meta_span_id,
+                        extra_attrs={"node": report.node},
+                    )
+                if registry is not None:
+                    registry.merge_deltas(payload.get("metrics"))
+                if profiler is not None:
+                    profiler.merge_counts(payload.get("profile"))
         # Pool startup noise can make per-node timers undershoot the true
         # makespan; carry the measured pool wall-clock so ClusterReport
         # .seconds reports the larger of the two and throughput is honest.

@@ -97,6 +97,31 @@ class ProgressMonitor:
         with self._lock:
             return self._snapshot_locked(time.perf_counter())
 
+    def as_dict(self) -> dict[str, object]:
+        """A JSON-ready view of the run's progress (the live
+        ``/progress`` endpoint's payload): totals, throughput, and the
+        per-table breakdown, taken under one lock so the numbers are
+        mutually consistent."""
+        with self._lock:
+            snapshot = self._snapshot_locked(time.perf_counter())
+            tables = {
+                name: {
+                    "rows_done": self._table_done.get(name, 0),
+                    "rows_total": self._table_totals.get(name, 0),
+                }
+                for name in {**self._table_totals, **self._table_done}
+            }
+        return {
+            "elapsed_seconds": snapshot.elapsed_seconds,
+            "rows_done": snapshot.rows_done,
+            "rows_total": snapshot.rows_total,
+            "bytes_written": snapshot.bytes_written,
+            "fraction": snapshot.fraction,
+            "rows_per_second": snapshot.rows_per_second,
+            "mb_per_second": snapshot.mb_per_second,
+            "tables": dict(sorted(tables.items())),
+        }
+
     def table_progress(self) -> dict[str, tuple[int, int]]:
         """Per-table ``(done, total)`` pairs.
 

@@ -26,13 +26,17 @@ old submit-everything-upfront futures list.
 
 Every run is instrumented: a ``scheduler.run`` span wraps the whole
 generation, each work package runs under a ``scheduler.package`` span
-(thread backend; process workers trace into their own interpreter, so
-the parent records only sink writes), and the active metrics registry
-receives rows/bytes/package counters and per-value latency samples, all
-labelled per table — worker processes report their counters back over
-the result queue so cross-process runs fill the same registry shapes.
-The per-table rollup always feeds the extended :class:`RunReport` —
-telemetry only controls whether it is *also* exported.
+with ``package.generate``/``package.format`` children, and the active
+metrics registry receives rows/bytes/package counters and per-value
+latency samples, all labelled per table. The process backend is no
+telemetry black hole: each dispatched package carries a
+:class:`~repro.obs.stitch.SpanContext`, workers run their own collectors
+and ship span buffers plus metric deltas back on the existing result
+queues, and the parent stitches them under the run span — one coherent
+trace whichever backend ran, covering respawned workers (their spans
+carry ``attempt=2+``) and meta-scheduler node subtraces. The per-table
+rollup always feeds the extended :class:`RunReport` — telemetry only
+controls whether it is *also* exported.
 """
 
 from __future__ import annotations
@@ -48,7 +52,17 @@ from dataclasses import dataclass, field
 from queue import Empty
 
 from repro.engine import GenerationEngine
-from repro.obs import active_metrics, span, throughput_mb_per_s
+from repro.obs import (
+    SpanContext,
+    WorkerTelemetry,
+    active_metrics,
+    active_profiler,
+    active_tracer,
+    span,
+    span_payload,
+    stitch_spans,
+    throughput_mb_per_s,
+)
 from repro.output.config import OutputConfig
 from repro.output.sinks import InFlightWindow, OrderedSinkMux, Sink
 from repro.resilience.checkpoint import (
@@ -147,6 +161,11 @@ class RunReport:
     ``resumed_packages`` counts checkpointed packages a resumed run
     skipped instead of regenerating (their rows/bytes are included in
     the totals — the report describes the complete data set).
+
+    ``profile`` is populated when a sampling profiler was active during
+    the run: per-stage :class:`~repro.obs.profile.StageProfile` entries
+    (largest share first) covering the parent and, on the process
+    backend, every worker's merged samples.
     """
 
     rows: int
@@ -159,6 +178,7 @@ class RunReport:
     requeued_packages: int = 0
     worker_restarts: int = 0
     resumed_packages: int = 0
+    profile: tuple = ()
 
     @property
     def rows_per_second(self) -> float:
@@ -251,39 +271,89 @@ def _process_worker_main(
     task_queue,
     result_queue,
     faults: FaultPlan | None = None,
+    telemetry: WorkerTelemetry | None = None,
 ) -> None:
     """Worker-process body: generate and format packages locally.
 
-    Receives :class:`WorkPackage` items until a ``None`` sentinel;
-    streams ``("ok", table, sequence, chunk, rows, seconds, fmt_hits,
-    fmt_misses)`` tuples back. Failures surface as an ``("error", ...)``
-    message instead of killing the run silently. ``faults`` is the test
-    harness's scripted crash plan (``kill-worker-at-package-N``).
+    Receives ``(WorkPackage, SpanContext | None)`` items until a
+    ``None`` sentinel; streams ``("ok", table, sequence, chunk, rows,
+    seconds, fmt_hits, fmt_misses, telemetry_payload)`` tuples back.
+    Failures surface as an ``("error", ...)`` message instead of killing
+    the run silently. ``faults`` is the test harness's scripted crash
+    plan (``kill-worker-at-package-N``).
+
+    A forked child inherits the parent's tracer/metrics; recording into
+    the copy would be invisible, so the inherited state is always reset.
+    When the parent had collectors active it passes ``telemetry``, and
+    the worker runs its *own*: a fresh tracer drained into each result
+    message, a fresh registry exported as per-package deltas, and a
+    sampling profiler whose folded stacks ship in a final ``("profile",
+    pid, counts)`` message at shutdown. The parent stitches all of it
+    back into one run-wide view (:mod:`repro.obs.stitch`).
     """
-    # A forked child inherits the parent's tracer/metrics; recording into
-    # the copy would be invisible, so telemetry is off in workers and the
-    # parent accounts for packages from the result messages.
     from repro import obs
 
     obs.reset()
+    tracer = None
+    registry = None
+    profiler = None
+    if telemetry is not None:
+        if telemetry.trace:
+            tracer = obs.enable_tracing()
+        if telemetry.metrics:
+            registry = obs.enable_metrics()
+        if telemetry.profile:
+            profiler = obs.enable_profiling(telemetry.profile_hz)
     try:
         while True:
-            package = task_queue.get()
-            if package is None:
+            item = task_queue.get()
+            if item is None:
+                if profiler is not None:
+                    profiler.stop()
+                    result_queue.put(
+                        ("profile", os.getpid(), profiler.export_counts())
+                    )
                 return
-            if faults is not None:
-                faults.maybe_kill_worker(package.table, package.sequence)
+            package, span_ctx = item
+            if faults is not None and faults.should_kill_worker(
+                package.table, package.sequence
+            ):
+                # Drain the result queue's feeder thread before dying:
+                # os._exit mid-send would tear a frame in the shared
+                # result pipe while holding its write-lock, wedging the
+                # surviving workers' sends forever. The scripted fault
+                # models "died before producing a result", which this
+                # still is — the kill just lands between frames.
+                result_queue.close()
+                result_queue.join_thread()
+                os._exit(faults.kill_exit_code)
             started = time.perf_counter()
-            bound = engine.bound_table(package.table)
-            writer = output.new_writer(package.table, bound.column_names)
-            ctx = engine.new_context(package.table)
-            rows = bound.generate_rows(package.start, package.stop, ctx)
-            chunk = writer.write_rows(rows)
+            with span(
+                "scheduler.package", table=package.table,
+                sequence=package.sequence, rows=package.rows,
+                attempt=span_ctx.attempt if span_ctx is not None else 1,
+            ) as package_span:
+                bound = engine.bound_table(package.table)
+                writer = output.new_writer(package.table, bound.column_names)
+                ctx = engine.new_context(package.table)
+                with span("package.generate", table=package.table):
+                    rows = bound.generate_rows(package.start, package.stop, ctx)
+                with span("package.format", table=package.table):
+                    chunk = writer.write_rows(rows)
+                package_span.set(bytes=len(chunk))
             elapsed = time.perf_counter() - started
             formatter = writer.formatter
+            payload = None
+            if tracer is not None or registry is not None:
+                payload = {
+                    "spans": span_payload(tracer) if tracer is not None else None,
+                    "metrics": (
+                        registry.export_deltas() if registry is not None else None
+                    ),
+                }
             result_queue.put((
                 "ok", package.table, package.sequence, chunk, package.rows,
-                elapsed, formatter.cache_hits, formatter.cache_misses,
+                elapsed, formatter.cache_hits, formatter.cache_misses, payload,
             ))
     except BaseException as exc:  # fault-ok: forwarded to the parent as an error message
         result_queue.put(("error", type(exc).__name__, str(exc),
@@ -296,7 +366,9 @@ class _WorkerSlot:
 
     The private queue (instead of one shared queue) is what makes crash
     recovery possible: when a worker dies, ``assigned`` is the exact set
-    of packages that must be requeued elsewhere.
+    of ``(package, span_context)`` pairs that must be requeued elsewhere
+    — the context's attempt count rises with the requeue, so stitched
+    traces show which spans came from a redo.
     """
 
     __slots__ = ("process", "queue", "assigned")
@@ -304,7 +376,7 @@ class _WorkerSlot:
     def __init__(self, queue) -> None:
         self.process = None
         self.queue = queue
-        self.assigned: dict[tuple[str, int], WorkPackage] = {}
+        self.assigned: dict[tuple[str, int], tuple[WorkPackage, SpanContext | None]] = {}
 
 
 class _CrashRecovery:
@@ -546,7 +618,8 @@ class Scheduler:
                     pass
                 elif self.backend == "process":
                     self._run_process_pool(
-                        packages, muxes, stats, instruments, window, recovery
+                        packages, muxes, stats, instruments, window, recovery,
+                        run_span_id,
                     )
                 elif self.workers == 1:
                     for package, mux in packages:
@@ -621,10 +694,14 @@ class Scheduler:
             TableReport(name, stats[name].rows, stats[name].bytes, stats[name].seconds)
             for name in names
         )
+        profiler = active_profiler()
+        profile = (
+            tuple(profiler.stage_attribution()) if profiler is not None else ()
+        )
         return RunReport(
             total_rows, bytes_written, elapsed, self.workers, table_reports,
             self.backend, retries, recovery.requeued, recovery.restarts,
-            resumed_packages,
+            resumed_packages, profile,
         )
 
     # -- resilience ----------------------------------------------------------
@@ -725,6 +802,20 @@ class Scheduler:
                 pass
         if journal is not None:
             journal.interrupted(type(exc).__name__)
+        # Preserve whatever trace the run accumulated: write the spans
+        # recorded so far next to the manifest. The writer may itself be
+        # interrupted, which is why the trace readers tolerate torn
+        # final lines — the durable prefix is still analyzable.
+        tracer = active_tracer()
+        if tracer is not None and self.checkpoint is not None:
+            from repro.obs import write_trace_jsonl
+
+            try:
+                write_trace_jsonl(
+                    tracer, os.path.join(self.checkpoint, "trace.partial.jsonl")
+                )
+            except Exception:  # fault-ok: teardown must not mask the original failure
+                pass
 
     @staticmethod
     def _count_frame_bytes(
@@ -796,8 +887,10 @@ class Scheduler:
             bound = engine.bound_table(package.table)
             writer = self.output.new_writer(package.table, bound.column_names)
             ctx = engine.new_context(package.table)
-            rows = bound.generate_rows(package.start, package.stop, ctx)
-            chunk = writer.write_rows(rows)
+            with span("package.generate", table=package.table):
+                rows = bound.generate_rows(package.start, package.stop, ctx)
+            with span("package.format", table=package.table):
+                chunk = writer.write_rows(rows)
             package_span.set(bytes=len(chunk))
             mux.submit(package.sequence, chunk)
         elapsed = time.perf_counter() - started
@@ -825,6 +918,7 @@ class Scheduler:
         instruments: dict[str, _TableInstruments],
         window: InFlightWindow,
         recovery: "_CrashRecovery",
+        run_span_id: int | None = None,
     ) -> None:
         """Stream packages through worker processes, flushing in order.
 
@@ -852,12 +946,27 @@ class Scheduler:
         context = _mp_context()
         result_queue = context.Queue()
 
+        tracer = active_tracer()
+        registry = active_metrics()
+        profiler = active_profiler()
+        telemetry = None
+        if tracer is not None or registry is not None or profiler is not None:
+            telemetry = WorkerTelemetry(
+                trace=tracer is not None,
+                metrics=registry is not None,
+                profile=profiler is not None,
+                profile_hz=profiler.hz if profiler is not None else 100.0,
+            )
+        dispatch_ctx = (
+            SpanContext(parent_id=run_span_id) if telemetry is not None else None
+        )
+
         def spawn() -> _WorkerSlot:
             slot = _WorkerSlot(context.Queue())
             slot.process = context.Process(
                 target=_process_worker_main,
                 args=(self.engine, self.output, slot.queue, result_queue,
-                      self.faults),
+                      self.faults, telemetry),
                 daemon=True,
             )
             slot.process.start()
@@ -876,29 +985,73 @@ class Scheduler:
         try:
             next_index = 0
             done = 0
+            # Stall watchdog for fault-injected runs: a scripted kill
+            # that wedges the result stream (torn frame, poisoned
+            # write-lock) would otherwise hang the parent's poll loop
+            # silently. Real runs use arbitrarily long packages, so the
+            # watchdog only arms when a fault plan is attached.
+            stall_limit = 60.0 if self.faults is not None else None
+            last_progress = time.monotonic()
             while done < total:
                 alive = [slot for slot in slots if slot.process.is_alive()]
                 while alive and next_index < total and window.try_acquire():
                     package, _ = packages[next_index]
                     slot = min(alive, key=lambda s: len(s.assigned))
                     key = (package.table, package.sequence)
-                    slot.queue.put(package)
-                    slot.assigned[key] = package
+                    slot.queue.put((package, dispatch_ctx))
+                    slot.assigned[key] = (package, dispatch_ctx)
                     attempts.setdefault(key, 1)
                     next_index += 1
+                    last_progress = time.monotonic()
                 try:
                     message = result_queue.get(timeout=0.5)
                 except Empty:
+                    restarts_before = recovery.restarts
                     self._recover_dead_workers(
                         slots, spawn, attempts, recovery, max_restarts
                     )
+                    if recovery.restarts != restarts_before:
+                        last_progress = time.monotonic()
+                    if (
+                        stall_limit is not None
+                        and time.monotonic() - last_progress > stall_limit
+                    ):
+                        owed = sorted(
+                            key for slot in slots for key in slot.assigned
+                        )
+                        raise SchedulingError(
+                            f"process pool stalled: no progress for "
+                            f"{stall_limit:.0f}s with {done}/{total} packages "
+                            f"done and {len(owed)} results owed ({owed[:8]})"
+                        )
                     continue
+                last_progress = time.monotonic()
                 if message[0] == "error":
                     _, kind, text, trace = message
                     raise SchedulingError(
                         f"generation worker failed: {kind}: {text}\n{trace}"
                     )
-                _, table, sequence, chunk, rows, elapsed, hits, misses = message
+                if message[0] == "profile":
+                    # A worker flushed its sampler at shutdown while
+                    # results were still in flight (can only happen on
+                    # early teardown) — fold it in and keep consuming.
+                    if profiler is not None:
+                        profiler.merge_counts(message[2])
+                    continue
+                (_, table, sequence, chunk, rows, elapsed, hits, misses,
+                 worker_payload) = message
+                if worker_payload is not None:
+                    # Stitch this package's worker spans under the run
+                    # span and fold its metric deltas into the parent
+                    # registry — even for duplicate results: the redo
+                    # work really happened and the trace should show it.
+                    if tracer is not None:
+                        stitch_spans(
+                            tracer, worker_payload.get("spans"),
+                            parent_id=run_span_id,
+                        )
+                    if registry is not None:
+                        registry.merge_deltas(worker_payload.get("metrics"))
                 key = (table, sequence)
                 if key in completed:
                     # A worker finished this package just before dying;
@@ -931,6 +1084,18 @@ class Scheduler:
                 if slot.process.is_alive():  # pragma: no cover - defensive cleanup
                     slot.process.terminate()
                     slot.process.join(timeout=10)
+            if profiler is not None:
+                # Workers flush their sampler counts in a final
+                # ("profile", pid, counts) message on the shutdown
+                # sentinel; fold them into the parent profiler so the
+                # collapsed-stack output covers both sides of the pool.
+                while True:
+                    try:
+                        message = result_queue.get(timeout=0.2)
+                    except Empty:
+                        break
+                    if message and message[0] == "profile":
+                        profiler.merge_counts(message[2])
             for slot in slots:
                 slot.queue.close()
             result_queue.close()
@@ -975,11 +1140,14 @@ class Scheduler:
                     ) from None
             # The dead worker's queue may still hold undelivered items;
             # abandon it wholesale — ``assigned`` is authoritative — and
-            # requeue everything to a fresh replacement.
+            # requeue everything to a fresh replacement. The span context
+            # advances one attempt so the redo's spans are identifiable
+            # in the stitched trace.
             replacement = spawn()
-            for key, package in slot.assigned.items():
-                replacement.queue.put(package)
-                replacement.assigned[key] = package
+            for key, (package, span_ctx) in slot.assigned.items():
+                retry_ctx = span_ctx.retry() if span_ctx is not None else None
+                replacement.queue.put((package, retry_ctx))
+                replacement.assigned[key] = (package, retry_ctx)
             recovery.requeued += len(slot.assigned)
             recovery.restarts += 1
             slot.queue.close()

@@ -1,0 +1,200 @@
+"""The benchmark trend ledger: entry shape, baseline selection, and the
+regression gate (including the injected-slowdown proof).
+
+The measurement functions themselves run real generation, so the tests
+stub them where timing would make the suite slow or flaky; the gate
+logic is exercised on synthetic ledgers.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+TOOLS = Path(__file__).resolve().parent.parent / "tools"
+sys.path.insert(0, str(TOOLS))
+
+import bench_trend  # noqa: E402
+
+
+FINGERPRINT = {"platform": "test-os", "machine": "x", "cpus": 2, "python": "3"}
+OTHER_MACHINE = {"platform": "other", "machine": "y", "cpus": 64, "python": "3"}
+
+
+def _entry(results: dict, machine: dict = FINGERPRINT) -> dict:
+    return {
+        "commit": "abc",
+        "timestamp": "2026-01-01T00:00:00+00:00",
+        "machine": machine,
+        "smoke": True,
+        "results": results,
+    }
+
+
+class TestBaselineSelection:
+    def test_best_is_max_for_throughput(self):
+        entries = [
+            _entry({"thread_mb_per_s": 5.0}),
+            _entry({"thread_mb_per_s": 8.0}),
+            _entry({"thread_mb_per_s": 6.0}),
+        ]
+        assert bench_trend.best_baseline(
+            entries, FINGERPRINT, "thread_mb_per_s", "up"
+        ) == 8.0
+
+    def test_best_is_min_for_latency(self):
+        entries = [
+            _entry({"batch_ns_per_value": 150.0}),
+            _entry({"batch_ns_per_value": 120.0}),
+        ]
+        assert bench_trend.best_baseline(
+            entries, FINGERPRINT, "batch_ns_per_value", "down"
+        ) == 120.0
+
+    def test_other_machines_are_ignored(self):
+        entries = [_entry({"thread_mb_per_s": 100.0}, machine=OTHER_MACHINE)]
+        assert bench_trend.best_baseline(
+            entries, FINGERPRINT, "thread_mb_per_s", "up"
+        ) is None
+
+    def test_missing_metric_is_ignored(self):
+        entries = [_entry({"thread_mb_per_s": 5.0})]
+        assert bench_trend.best_baseline(
+            entries, FINGERPRINT, "process_mb_per_s", "up"
+        ) is None
+
+
+class TestGate:
+    BASELINE = [
+        _entry({
+            "thread_mb_per_s": 10.0,
+            "process_mb_per_s": 20.0,
+            "batch_ns_per_value": 100.0,
+        })
+    ]
+
+    def test_passes_within_threshold(self):
+        results = {
+            "thread_mb_per_s": 9.0,
+            "process_mb_per_s": 18.0,
+            "batch_ns_per_value": 110.0,
+        }
+        assert bench_trend.gate(results, self.BASELINE, FINGERPRINT, 0.15) == []
+
+    def test_fails_on_throughput_drop(self):
+        results = {
+            "thread_mb_per_s": 8.0,  # -20%
+            "process_mb_per_s": 20.0,
+            "batch_ns_per_value": 100.0,
+        }
+        failures = bench_trend.gate(results, self.BASELINE, FINGERPRINT, 0.15)
+        assert len(failures) == 1
+        assert "thread_mb_per_s" in failures[0]
+
+    def test_fails_on_latency_rise(self):
+        results = {
+            "thread_mb_per_s": 10.0,
+            "process_mb_per_s": 20.0,
+            "batch_ns_per_value": 120.0,  # +20%
+        }
+        failures = bench_trend.gate(results, self.BASELINE, FINGERPRINT, 0.15)
+        assert len(failures) == 1
+        assert "batch_ns_per_value" in failures[0]
+
+    def test_empty_ledger_passes(self):
+        results = {
+            "thread_mb_per_s": 1.0,
+            "process_mb_per_s": 1.0,
+            "batch_ns_per_value": 1e9,
+        }
+        assert bench_trend.gate(results, [], FINGERPRINT, 0.15) == []
+
+    def test_improvement_always_passes(self):
+        results = {
+            "thread_mb_per_s": 50.0,
+            "process_mb_per_s": 90.0,
+            "batch_ns_per_value": 10.0,
+        }
+        assert bench_trend.gate(results, self.BASELINE, FINGERPRINT, 0.15) == []
+
+
+class TestLedgerIO:
+    def test_load_missing_ledger_is_empty(self, tmp_path):
+        ledger = bench_trend.load_ledger(str(tmp_path / "none.json"))
+        assert ledger == {"version": 1, "entries": []}
+
+    def test_append_round_trips(self, tmp_path):
+        path = str(tmp_path / "ledger.json")
+        ledger = bench_trend.load_ledger(path)
+        bench_trend.append_entry(path, ledger, _entry({"thread_mb_per_s": 5.0}))
+        loaded = bench_trend.load_ledger(path)
+        assert len(loaded["entries"]) == 1
+        assert loaded["entries"][0]["results"]["thread_mb_per_s"] == 5.0
+
+    def test_version_mismatch_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"version": 99, "entries": []}))
+        with pytest.raises(SystemExit):
+            bench_trend.load_ledger(str(path))
+
+
+class TestMainGateLoop:
+    @pytest.fixture(autouse=True)
+    def _fast_measurements(self, monkeypatch):
+        self.measured = {
+            "thread_mb_per_s": 10.0,
+            "process_mb_per_s": 20.0,
+            "batch_ns_per_value": 100.0,
+        }
+        monkeypatch.setattr(
+            bench_trend, "run_measurements", lambda smoke: dict(self.measured)
+        )
+
+    def test_first_run_appends(self, tmp_path, capsys):
+        path = str(tmp_path / "ledger.json")
+        assert bench_trend.main(["--ledger", path, "--smoke"]) == 0
+        assert len(bench_trend.load_ledger(path)["entries"]) == 1
+        entry = bench_trend.load_ledger(path)["entries"][0]
+        assert entry["results"] == self.measured
+        assert entry["machine"] == bench_trend.machine_fingerprint()
+
+    def test_injected_slowdown_fails_gate(self, tmp_path, capsys):
+        path = str(tmp_path / "ledger.json")
+        assert bench_trend.main(["--ledger", path, "--smoke"]) == 0
+        code = bench_trend.main(
+            ["--ledger", path, "--smoke", "--inject-slowdown", "0.2"]
+        )
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "REGRESSION" in err
+        # the injected run must never pollute the ledger
+        assert len(bench_trend.load_ledger(path)["entries"]) == 1
+
+    def test_no_append_gates_without_writing(self, tmp_path):
+        path = str(tmp_path / "ledger.json")
+        assert bench_trend.main(["--ledger", path, "--smoke"]) == 0
+        assert bench_trend.main(
+            ["--ledger", path, "--smoke", "--no-append"]
+        ) == 0
+        assert len(bench_trend.load_ledger(path)["entries"]) == 1
+
+    def test_within_threshold_appends_second_entry(self, tmp_path):
+        path = str(tmp_path / "ledger.json")
+        assert bench_trend.main(["--ledger", path, "--smoke"]) == 0
+        self.measured["thread_mb_per_s"] = 9.5  # -5%: fine
+        assert bench_trend.main(["--ledger", path, "--smoke"]) == 0
+        assert len(bench_trend.load_ledger(path)["entries"]) == 2
+
+
+class TestRepoLedger:
+    def test_checked_in_ledger_has_all_families(self):
+        path = TOOLS.parent / "BENCH_core.json"
+        ledger = bench_trend.load_ledger(str(path))
+        assert ledger["entries"], "BENCH_core.json must ship with a seed entry"
+        for metric in bench_trend.METRICS:
+            assert any(
+                metric in entry["results"] for entry in ledger["entries"]
+            ), f"no ledger entry records {metric}"

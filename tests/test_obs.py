@@ -331,3 +331,249 @@ class TestExporters:
         path = str(tmp_path / "metrics.prom")
         obs.write_metrics_text(registry, path)
         assert "c 1" in open(path, encoding="utf-8").read()
+
+
+class TestHistogramQuantiles:
+    def _histogram(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("lat", buckets=[1.0, 5.0, 10.0])
+        for value in (0.5, 2.0, 3.0, 4.0, 8.0):
+            histogram.observe(value)
+        return histogram
+
+    def test_interpolated_quantiles(self):
+        histogram = self._histogram()
+        # rank 2.5 of 5 falls in the (1, 5] bucket (counts 1,3,1)
+        assert histogram.quantile(0.5) == pytest.approx(3.0)
+        assert histogram.quantile(0.95) == pytest.approx(8.75)
+
+    def test_empty_histogram_is_zero(self):
+        registry = MetricsRegistry()
+        assert registry.histogram("h", buckets=[1.0]).quantile(0.5) == 0.0
+
+    def test_inf_bucket_clamps_to_last_bound(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("h", buckets=[1.0, 2.0])
+        histogram.observe(100.0)
+        assert histogram.quantile(0.99) == 2.0
+
+    def test_invalid_q_rejected(self):
+        histogram = self._histogram()
+        for q in (0.0, 1.0, -1.0, 2.0):
+            with pytest.raises(ReproError):
+                histogram.quantile(q)
+
+    def test_prometheus_renders_quantile_lines(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("lat", buckets=[1.0, 5.0, 10.0])
+        histogram.observe(2.0, table="t")
+        text = obs.render_prometheus(registry)
+        for suffix in ("p50", "p95", "p99"):
+            assert f'lat_{suffix}{{table="t"}}' in text
+
+    def test_summary_lines_include_quantiles(self):
+        registry = obs.enable_metrics()
+        registry.histogram("lat", buckets=[1.0, 5.0]).observe(2.0)
+        text = "\n".join(obs.summary_lines(registry, None))
+        assert "p50=" in text and "p95=" in text and "p99=" in text
+
+
+class TestMetricDeltas:
+    def test_counters_reset_and_merge(self):
+        worker = MetricsRegistry()
+        worker.counter("rows_total").inc(10, table="t")
+        deltas = worker.export_deltas()
+        assert worker.counter("rows_total").value(table="t") == 0
+        parent = MetricsRegistry()
+        parent.counter("rows_total").inc(5, table="t")
+        parent.merge_deltas(deltas)
+        assert parent.counter("rows_total").value(table="t") == 15
+
+    def test_gauges_merge_by_max(self):
+        worker = MetricsRegistry()
+        worker.gauge("depth").set(7)
+        parent = MetricsRegistry()
+        parent.gauge("depth").set(3)
+        parent.merge_deltas(worker.export_deltas())
+        assert parent.gauge("depth").value() == 7
+        lower = MetricsRegistry()
+        lower.gauge("depth").set(2)
+        parent.merge_deltas(lower.export_deltas())
+        assert parent.gauge("depth").value() == 7
+
+    def test_histograms_merge_buckets_and_sum(self):
+        worker = MetricsRegistry()
+        worker.histogram("lat", buckets=[1.0, 10.0]).observe(5.0)
+        parent = MetricsRegistry()
+        parent.histogram("lat", buckets=[1.0, 10.0]).observe(0.5)
+        parent.merge_deltas(worker.export_deltas())
+        text = obs.render_prometheus(parent)
+        assert 'lat_bucket{le="+Inf"} 2' in text
+        assert "lat_sum 5.5" in text
+
+    def test_merge_none_is_noop(self):
+        parent = MetricsRegistry()
+        parent.merge_deltas(None)
+        parent.merge_deltas({})
+        assert parent.metrics() == []
+
+    def test_deltas_after_reset_are_empty_shells(self):
+        worker = MetricsRegistry()
+        worker.counter("c").inc(3)
+        worker.export_deltas()
+        second = worker.export_deltas()
+        values = dict(second["counters"])["c"] if second["counters"] else []
+        assert all(value == 0 for _key, value in values)
+
+
+class TestTraceFileRobustness:
+    def _write_spans(self, path):
+        tracer = obs.enable_tracing()
+        with obs.span("outer"):
+            with obs.span("inner"):
+                pass
+        obs.write_trace_jsonl(tracer, path)
+        obs.reset()
+
+    def test_gzip_round_trip(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl.gz")
+        self._write_spans(path)
+        with open(path, "rb") as handle:
+            assert handle.read(2) == b"\x1f\x8b"
+        records = obs.read_trace_jsonl(path)
+        assert [r.name for r in records] == ["inner", "outer"]
+
+    def test_gzip_detected_by_magic_not_name(self, tmp_path):
+        gz_path = str(tmp_path / "trace.jsonl.gz")
+        self._write_spans(gz_path)
+        import shutil
+        renamed = str(tmp_path / "renamed.jsonl")
+        shutil.copy(gz_path, renamed)
+        assert len(obs.read_trace_jsonl(renamed)) == 2
+
+    def test_torn_final_line_is_skipped(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        self._write_spans(path)
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"event": "span", "span_id": 99, "name": "to')
+        records = obs.read_trace_jsonl(path)
+        assert [r.name for r in records] == ["inner", "outer"]
+
+    def test_garbage_in_the_middle_still_raises(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        self._write_spans(str(path))
+        content = path.read_text()
+        lines = content.splitlines()
+        lines.insert(1, "not json")
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(ReproError):
+            obs.read_trace_jsonl(str(path))
+
+    def test_truncated_gzip_keeps_durable_prefix(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl.gz")
+        tracer = obs.enable_tracing()
+        for index in range(200):
+            with obs.span("work", index=index):
+                pass
+        obs.write_trace_jsonl(tracer, path)
+        obs.reset()
+        with open(path, "rb") as handle:
+            data = handle.read()
+        with open(path, "wb") as handle:
+            handle.write(data[: len(data) // 2])
+        records = obs.read_trace_jsonl(path)
+        assert 0 < len(records) < 200
+        assert all(r.name == "work" for r in records)
+
+
+class TestSpanTree:
+    def _records(self):
+        tracer = obs.enable_tracing()
+        with obs.span("scheduler.run"):
+            with obs.span("scheduler.package", table="t", sequence=0,
+                          rows=10) as package:
+                package.set(bytes=100)
+                with obs.span("package.generate", table="t"):
+                    pass
+        records = tracer.drain()
+        obs.reset()
+        return records
+
+    def test_build_tree_links_children(self):
+        records = self._records()
+        roots, children = obs.build_span_tree(records)
+        assert [r.name for r in roots] == ["scheduler.run"]
+        run = roots[0]
+        assert [c.name for c in children[run.span_id]] == ["scheduler.package"]
+
+    def test_orphan_parents_become_roots(self):
+        records = self._records()
+        orphans = [r for r in records if r.name != "scheduler.run"]
+        roots, _children = obs.build_span_tree(orphans)
+        assert [r.name for r in roots] == ["scheduler.package"]
+
+    def test_render_indents_and_shows_attrs(self):
+        lines = obs.render_span_tree(self._records())
+        assert lines[0].startswith("scheduler.run")
+        assert any(line.startswith("  scheduler.package") for line in lines)
+        assert any("table=t" in line for line in lines)
+
+    def test_sibling_elision(self):
+        tracer = obs.enable_tracing()
+        with obs.span("run"):
+            for index in range(20):
+                with obs.span("child", index=index):
+                    pass
+        lines = obs.render_span_tree(tracer.drain(), max_children=5)
+        obs.reset()
+        assert any("more sibling spans elided" in line for line in lines)
+
+    def test_table_totals_from_package_spans(self):
+        records = self._records()
+        assert obs.table_totals(records) == {"t": (10, 100)}
+
+
+class TestResetAtomicity:
+    def test_generation_increments_on_reset(self):
+        before = obs.generation()
+        obs.reset()
+        assert obs.generation() == before + 1
+
+    def test_state_snapshot_is_consistent(self):
+        tracer = obs.enable_tracing()
+        registry = obs.enable_metrics()
+        generation, snap_tracer, snap_registry, snap_profiler = obs.state()
+        assert snap_tracer is tracer
+        assert snap_registry is registry
+        assert snap_profiler is None
+        assert generation == obs.generation()
+
+    def test_reset_hammer_against_exporter(self):
+        """A reader thread continuously rendering whatever obs.state()
+        returns must never crash while another thread enables/resets —
+        the regression test for torn global swaps."""
+        errors = []
+        stop = threading.Event()
+
+        def reader():
+            while not stop.is_set():
+                _generation, _tracer, registry, _profiler = obs.state()
+                try:
+                    if registry is not None:
+                        obs.render_prometheus(registry)
+                except BaseException as exc:  # pragma: no cover - the bug
+                    errors.append(exc)
+                    return
+
+        thread = threading.Thread(target=reader)
+        thread.start()
+        try:
+            for _ in range(300):
+                registry = obs.enable_metrics()
+                registry.counter("hammer_total").inc()
+                registry.histogram("lat", buckets=[1.0]).observe(0.5)
+                obs.reset()
+        finally:
+            stop.set()
+            thread.join(timeout=5)
+        assert not errors

@@ -1,0 +1,159 @@
+"""The live telemetry endpoint: /metrics, /progress, /trace, and its
+consistency under concurrent obs.reset()."""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.request
+
+import pytest
+
+from repro import obs
+from repro.exceptions import ReproError
+from repro.obs.serve import ObsServer
+from repro.scheduler.progress import ProgressMonitor
+
+
+@pytest.fixture(autouse=True)
+def _clean_obs_state():
+    obs.reset()
+    yield
+    obs.reset()
+
+
+def _get(url: str) -> tuple[int, str, str]:
+    with urllib.request.urlopen(url, timeout=5) as response:
+        return (
+            response.status,
+            response.headers.get("Content-Type", ""),
+            response.read().decode("utf-8"),
+        )
+
+
+@pytest.fixture()
+def server():
+    with ObsServer(port=0) as running:
+        yield running
+
+
+class TestEndpoints:
+    def test_index_reports_state(self, server):
+        obs.enable_tracing()
+        status, content_type, body = _get(server.url + "/")
+        assert status == 200
+        index = json.loads(body)
+        assert index["endpoints"] == ["/metrics", "/progress", "/trace"]
+        assert index["tracing"] is True
+        assert index["metrics"] is False
+        assert index["generation"] == obs.generation()
+
+    def test_metrics_prometheus_text(self, server):
+        registry = obs.enable_metrics()
+        registry.counter("rows_generated_total", "rows").inc(7, table="t")
+        status, content_type, body = _get(server.url + "/metrics")
+        assert status == 200
+        assert content_type.startswith("text/plain")
+        assert 'rows_generated_total{table="t"} 7' in body
+
+    def test_metrics_without_registry(self, server):
+        status, _type, body = _get(server.url + "/metrics")
+        assert status == 200
+        assert "no metrics registry" in body
+
+    def test_progress_json(self, server):
+        monitor = ProgressMonitor(100, {"t": 100})
+        server.attach_progress(monitor)
+        monitor.add("t", 40, 1000)
+        status, content_type, body = _get(server.url + "/progress")
+        assert status == 200
+        progress = json.loads(body)
+        assert progress["rows_done"] == 40
+        assert progress["rows_total"] == 100
+        assert progress["tables"]["t"] == {"rows_done": 40, "rows_total": 100}
+        assert 0 < progress["fraction"] < 1
+
+    def test_progress_404_without_monitor(self, server):
+        with pytest.raises(urllib.error.HTTPError) as exc_info:
+            _get(server.url + "/progress")
+        assert exc_info.value.code == 404
+
+    def test_trace_recent_spans_jsonl(self, server):
+        tracer = obs.enable_tracing()
+        for index in range(5):
+            with tracer.span("work", index=index):
+                pass
+        status, content_type, body = _get(server.url + "/trace?n=3")
+        assert status == 200
+        assert "ndjson" in content_type
+        lines = [json.loads(line) for line in body.splitlines() if line]
+        meta, spans = lines[0], lines[1:]
+        assert meta["event"] == "meta"
+        assert len(spans) == 3
+        # most recent spans win
+        assert [s["attrs"]["index"] for s in spans] == [2, 3, 4]
+
+    def test_trace_404_without_tracer(self, server):
+        with pytest.raises(urllib.error.HTTPError) as exc_info:
+            _get(server.url + "/trace")
+        assert exc_info.value.code == 404
+
+    def test_unknown_path_404(self, server):
+        with pytest.raises(urllib.error.HTTPError) as exc_info:
+            _get(server.url + "/nope")
+        assert exc_info.value.code == 404
+
+
+class TestLifecycle:
+    def test_port_before_start_raises(self):
+        with pytest.raises(ReproError):
+            ObsServer(port=0).port
+
+    def test_double_start_raises(self, server):
+        with pytest.raises(ReproError):
+            server.start()
+
+    def test_stop_is_idempotent(self):
+        server = ObsServer(port=0).start()
+        server.stop()
+        server.stop()
+
+    def test_attach_progress_after_start(self, server):
+        assert server.progress is None
+        monitor = ProgressMonitor(10, {"t": 10})
+        server.attach_progress(monitor)
+        status, _type, _body = _get(server.url + "/progress")
+        assert status == 200
+
+
+class TestResetConsistency:
+    def test_hammer_requests_during_resets(self, server):
+        """obs.reset() swapping collectors under the serve thread must
+        never tear a response: every request sees a complete consistent
+        body, whichever generation answered it."""
+        stop = threading.Event()
+        errors: list[BaseException] = []
+
+        def churn():
+            while not stop.is_set():
+                registry = obs.enable_metrics()
+                registry.counter("hammer_total", "hammer").inc()
+                obs.enable_tracing()
+                obs.reset()
+
+        thread = threading.Thread(target=churn)
+        thread.start()
+        try:
+            for _ in range(50):
+                for path in ("/", "/metrics"):
+                    status, _type, body = _get(server.url + path)
+                    assert status == 200
+                    assert body.endswith("\n")
+                    if path == "/":
+                        json.loads(body)  # complete JSON, not torn
+        except BaseException as exc:  # pragma: no cover - diagnostic
+            errors.append(exc)
+        finally:
+            stop.set()
+            thread.join(timeout=5)
+        assert not errors

@@ -1,6 +1,6 @@
 """Structural lint for scheduler/output paths: hot loops and swallowed errors.
 
-Two checks, one AST walk:
+Three checks, one AST walk:
 
 **Hot-loop check.** The batch-first fast path (PR: batched generation)
 only pays off if the scheduler work-package loop and the writer block
@@ -23,7 +23,18 @@ waiver on its ``except`` line explaining why swallowing is correct
 (e.g. emergency teardown that must not mask the original failure).
 Narrow handlers (``except OSError`` etc.) are never flagged.
 
-Checked scope: ``src/repro/scheduler/`` and ``src/repro/output/``.
+**Span-path I/O check.** The observability promise (PR: distributed
+observability) is that *recording* a span or bumping a counter costs
+microseconds: every ``with span(...)`` and ``counter.inc()`` sits on the
+generation hot path, so :mod:`repro.obs.trace` and
+:mod:`repro.obs.registry` must never perform blocking I/O — no
+``open``/``print``/``flush``/``fsync``/socket calls. Exporting belongs
+in :mod:`repro.obs.export` (called once, after the run) and
+:mod:`repro.obs.serve` (its own thread). Waive a deliberate call with
+``# span-io-ok: <reason>``.
+
+Checked scope: ``src/repro/scheduler/``, ``src/repro/output/``, and the
+span-recording obs modules.
 
 Usage: ``python tools/lint_hot_loops.py`` (exit 1 on violations).
 """
@@ -40,6 +51,14 @@ BANNED_CALLS = ("generate_row", "write_row")
 WAIVER = "hot-loop-ok"
 FAULT_WAIVER = "fault-ok"
 BROAD_EXCEPTIONS = ("Exception", "BaseException")
+
+#: span-recording modules where blocking I/O is structurally banned.
+SPAN_HOT_FILES = ("src/repro/obs/trace.py", "src/repro/obs/registry.py")
+BANNED_IO_CALLS = (
+    "open", "print", "flush", "fsync", "urlopen", "connect",
+    "sendall", "recv", "popen", "system",
+)
+SPAN_IO_WAIVER = "span-io-ok"
 
 
 def _call_name(node: ast.Call) -> str | None:
@@ -71,13 +90,23 @@ def _reraises(handler: ast.ExceptHandler) -> bool:
     return any(isinstance(node, ast.Raise) for node in ast.walk(handler))
 
 
-def check_file(path: Path) -> list[str]:
+def check_file(path: Path, span_hot: bool = False) -> list[str]:
     source = path.read_text(encoding="utf-8")
     lines = source.splitlines()
     violations = []
     for node in ast.walk(ast.parse(source, filename=str(path))):
         if isinstance(node, ast.Call):
             name = _call_name(node)
+            if span_hot and name in BANNED_IO_CALLS:
+                line = lines[node.lineno - 1]
+                if SPAN_IO_WAIVER not in line:
+                    violations.append(
+                        f"{path.relative_to(REPO)}:{node.lineno}: blocking "
+                        f"I/O call {name}() in a span-recording path; move "
+                        "it to repro.obs.export/serve or waive with "
+                        f"'# {SPAN_IO_WAIVER}: <reason>'"
+                    )
+                continue
             if name not in BANNED_CALLS:
                 continue
             line = lines[node.lineno - 1]
@@ -112,6 +141,9 @@ def main() -> int:
         for path in sorted((REPO / rel).rglob("*.py")):
             checked += 1
             violations.extend(check_file(path))
+    for rel in SPAN_HOT_FILES:
+        checked += 1
+        violations.extend(check_file(REPO / rel, span_hot=True))
     for message in violations:
         print(message)
     print(
