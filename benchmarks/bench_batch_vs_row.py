@@ -54,11 +54,58 @@ GENS = {
 #: generator classes the PR's acceptance bar holds to >= 2x
 FAST_CLASSES = ("id", "long uniform", "dictionary")
 
+#: rows per table for the columnar throughput series
+COLUMNAR_ROWS = 40_000
+
 
 def _engine(spec: GeneratorSpec) -> GenerationEngine:
     schema = Schema("bvr", seed=11)
     schema.add_table(Table("t", str(ROWS), [Field.of("f", "TEXT", spec)]))
     return GenerationEngine(schema)
+
+
+def _columnar_schema(rows: int = COLUMNAR_ROWS) -> Schema:
+    """A wide table of typed-column generators — the shapes the columnar
+    formatter vectorizes end to end (TPC-H keeps object-fallback text
+    columns, which would measure the fallback, not the fast path)."""
+    schema = Schema("colbench", seed=11)
+    schema.add_table(Table("w", str(rows), [
+        Field.of("w_id", "BIGINT", GeneratorSpec("IdGenerator")),
+        Field.of("w_key", "BIGINT", GeneratorSpec(
+            "LongGenerator", {"min": 1, "max": 10_000_000}
+        )),
+        Field.of("w_qty", "BIGINT", GeneratorSpec(
+            "LongGenerator", {"min": 1, "max": 50}
+        )),
+        Field.of("w_money", "DECIMAL(12,2)", GeneratorSpec(
+            "DoubleGenerator", {"min": 0.0, "max": 1000.0, "places": 2}
+        )),
+        Field.of("w_bool", "BOOLEAN", GeneratorSpec(
+            "BooleanGenerator", {"true_probability": 0.5}
+        )),
+        Field.of("w_date", "DATE", GeneratorSpec(
+            "DateGenerator", {"min": "1992-01-01", "max": "1998-12-31"}
+        )),
+        Field.of("w_dict", "VARCHAR(10)", GeneratorSpec(
+            "DictListGenerator",
+            {"values": ["alpha", "beta", "gamma", "delta", "epsilon"],
+             "weights": [5, 4, 3, 2, 1]},
+        )),
+    ]))
+    return schema
+
+
+def _columnar_mb_per_s(columnar: bool | None, rounds: int = 4) -> float:
+    """Best-of-rounds thread-backend throughput on the columnar schema."""
+    best = 0.0
+    for _ in range(rounds):
+        engine = GenerationEngine(_columnar_schema())
+        config = OutputConfig(kind="null", columnar=columnar)
+        report = Scheduler(
+            engine, config, workers=1, package_size=10_000, backend="thread"
+        ).run()
+        best = max(best, report.mb_per_second)
+    return best
 
 
 def _row_ns(engine: GenerationEngine) -> tuple[float, list]:
@@ -173,12 +220,47 @@ def test_scheduler_throughput_row_vs_batch(benchmark):
     assert row_bytes == thread_bytes == process_bytes
 
 
+def test_scheduler_throughput_columnar(benchmark):
+    """Columnar write_block vs per-row-formatting batch path, MB/s.
+
+    Same schema, same bytes — the only difference is whether the CSV
+    text is produced by the vectorized block formatter or the per-value
+    write_rows loop. The columnar acceptance bar is 2x.
+    """
+    _columnar_mb_per_s(None, rounds=1)  # warmup
+
+    def measure():
+        return _columnar_mb_per_s(False), _columnar_mb_per_s(None)
+
+    batch_mbs, columnar_mbs = benchmark.pedantic(
+        measure, rounds=1, iterations=1
+    )
+    speedup = columnar_mbs / batch_mbs if batch_mbs > 0 else float("inf")
+    benchmark.extra_info["batch_mb_per_s"] = round(batch_mbs, 2)
+    benchmark.extra_info["columnar_mb_per_s"] = round(columnar_mbs, 2)
+    benchmark.extra_info["speedup"] = round(speedup, 2)
+    record(
+        "Columnar formatting (thread backend, typed-column schema): "
+        "batch MB/s | columnar MB/s | speedup",
+        (f"{batch_mbs:.1f}", f"{columnar_mbs:.1f}", f"{speedup:.1f}x"),
+    )
+    assert speedup >= 2.0, (
+        f"columnar formatter only {speedup:.2f}x over the batch row "
+        f"formatter ({batch_mbs:.1f} -> {columnar_mbs:.1f} MB/s); the "
+        "columnar acceptance bar is 2x"
+    )
+
+
 # -- script mode: CI smoke canary --------------------------------------------
 
 
 def _smoke() -> int:
-    """Correctness-only canary: batch == row for every bench generator,
-    and the batch scheduler's bytes are backend-independent."""
+    """CI canary: batch == row for every bench generator, the batch
+    scheduler's bytes are backend-independent, the columnar formatter's
+    bytes match the row formatter's, and the columnar path clears its 2x
+    throughput bar. The 2x check is a *ratio* of two measurements taken
+    back to back on the same host, so it holds on slow shared runners
+    where absolute MB/s assertions would not."""
     failures = 0
     for name, spec in GENS.items():
         engine = _engine(spec)
@@ -204,8 +286,42 @@ def _smoke() -> int:
     if outputs[0] != outputs[1]:
         print("smoke FAIL: thread and process batch outputs differ")
         failures += 1
+
+    # Columnar formatter: byte identity with the row formatter, then the
+    # 2x throughput bar on the typed-column schema (thread backend).
+    columnar_outputs = []
+    for flag in (None, False):
+        config = OutputConfig(kind="memory", columnar=flag)
+        Scheduler(
+            GenerationEngine(_columnar_schema()), config,
+            workers=1, package_size=10_000, backend="thread",
+        ).run()
+        columnar_outputs.append(config.memory_output("w"))
+    if columnar_outputs[0] != columnar_outputs[1]:
+        print("smoke FAIL: columnar and row formatter bytes differ")
+        failures += 1
+    else:
+        print("smoke             columnar: ok (bytes match row formatter)")
+
+    batch_mbs = _columnar_mb_per_s(False)
+    columnar_mbs = _columnar_mb_per_s(None)
+    speedup = columnar_mbs / batch_mbs if batch_mbs > 0 else float("inf")
+    print(
+        f"smoke columnar throughput: batch {batch_mbs:.1f} MB/s, "
+        f"columnar {columnar_mbs:.1f} MB/s, {speedup:.2f}x"
+    )
+    if speedup < 2.0:
+        print(
+            f"smoke FAIL: columnar only {speedup:.2f}x over the batch "
+            "row formatter; the acceptance bar is 2x"
+        )
+        failures += 1
+
     if failures == 0:
-        print("smoke ok: batch path matches per-row on all generators and backends")
+        print(
+            "smoke ok: batch matches per-row, columnar matches batch "
+            "bytes and clears 2x"
+        )
     return 1 if failures else 0
 
 

@@ -231,6 +231,7 @@ def _cmd_generate(args: argparse.Namespace) -> int:
             database=args.database or "",
             delimiter=args.delimiter,
             include_header=args.header,
+            columnar=False if args.no_columnar else None,
         )
         if args.kind == "sqlite":
             # The SQL stream needs the target schema in place first.
@@ -472,11 +473,22 @@ def build_parser() -> argparse.ArgumentParser:
     gen.add_argument(
         "--kind", choices=("file", "null", "sqlite"), default="file"
     )
-    gen.add_argument("--format", choices=("csv", "json", "xml", "sql"), default="csv")
+    gen.add_argument(
+        "--format",
+        choices=("csv", "json", "xml", "sql", "arrow", "parquet"),
+        default="csv",
+        help="output format; arrow/parquet need the optional pyarrow extra",
+    )
     gen.add_argument("-d", "--directory", default=".")
     gen.add_argument("--database", help="target database for --kind sqlite")
     gen.add_argument("--delimiter", default="|")
     gen.add_argument("--header", action="store_true")
+    gen.add_argument(
+        "--no-columnar",
+        action="store_true",
+        help="force the row formatting path (bytes are identical either "
+        "way; this is a performance knob for comparison runs)",
+    )
     gen.add_argument("-w", "--workers", type=int, default=1)
     gen.add_argument(
         "--backend",

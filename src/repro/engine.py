@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import threading
 
+from repro import columnar
 from repro.exceptions import GenerationError, ModelError
 from repro.generators.base import (
     ArtifactStore,
@@ -85,41 +86,57 @@ class BoundTable:
             ctx.row_values = None
         return values
 
-    def generate_rows(
+    def generate_columns(
         self, start: int, stop: int, ctx: GenerationContext
-    ) -> list[list[object]]:
-        """Rows ``[start, stop)`` as value lists — the batch fast path.
+    ) -> columnar.ColumnBlock:
+        """Rows ``[start, stop)`` as typed columns — the batch fast path.
 
         Column-major: the row block is hashed once (one vector ``mix64``
         shared by every column), then each generator produces its whole
-        column via :meth:`Generator.generate_batch`, amortizing seed
-        derivation and dispatch over the block. Output is byte-identical
-        to calling :meth:`generate_row` per row: every cell sees exactly
-        the same reseeded PRNG stream, and sibling lookups read completed
-        columns instead of recomputing, just like the row path reads the
-        current row's earlier values.
+        column — via :meth:`Generator.generate_block` when it has a typed
+        kernel, else :meth:`Generator.generate_batch` wrapped in an
+        object-dtype fallback column. Output is byte-identical to calling
+        :meth:`generate_row` per row: every cell sees exactly the same
+        reseeded PRNG stream, and sibling lookups read completed columns
+        (canonical ``column[offset]`` values) instead of recomputing,
+        just like the row path reads the current row's earlier values.
         """
         count = stop - start
         if count <= 0:
-            return []
+            return columnar.ColumnBlock(
+                list(self.column_names),
+                [columnar.ObjectColumn([]) for _ in self.column_names],
+                0,
+            )
         row_hashes = blocks.row_hash_block(start, count)
-        columns: list[list] = []
+        columns: list[columnar.Column] = []
         ctx.batch_start = start
         ctx.batch_columns = columns
         try:
             for seeder, generator in zip(self._seeders, self._generators):
                 ctx.seed_block = seeder.seed_block_from_hashes(row_hashes)
-                column = generator.generate_batch(ctx, start, count)
+                column = generator.generate_block(ctx, start, count)
+                if column is None:
+                    column = columnar.ObjectColumn(
+                        generator.generate_batch(ctx, start, count)
+                    )
                 if len(column) != count:
                     raise GenerationError(
-                        f"{generator.describe()}.generate_batch returned "
+                        f"{generator.describe()} returned "
                         f"{len(column)} values for a block of {count}"
                     )
                 columns.append(column)
         finally:
             ctx.batch_columns = None
             ctx.seed_block = None
-        return [list(row) for row in zip(*columns)]
+        return columnar.ColumnBlock(list(self.column_names), columns, count)
+
+    def generate_rows(
+        self, start: int, stop: int, ctx: GenerationContext
+    ) -> list[list[object]]:
+        """Rows ``[start, stop)`` as value lists — the columnar block
+        transposed back to the row-path representation."""
+        return self.generate_columns(start, stop, ctx).to_rows()
 
     def generate_value(self, column_index: int, row: int, ctx: GenerationContext) -> object:
         """One cell — the recomputation primitive.
@@ -309,6 +326,20 @@ class GenerationEngine:
         if stop is None or stop > size:
             stop = size
         return bound.generate_rows(start, stop, self.new_context(table_name))
+
+    def generate_columns(
+        self, table_name: str, start: int = 0, stop: int | None = None
+    ) -> columnar.ColumnBlock:
+        """Rows ``[start, stop)`` of a table as one typed column block.
+
+        The columnar twin of :meth:`generate_rows`: same values, same
+        determinism, but kept in computed form for the columnar writers.
+        """
+        bound = self._bound(table_name)
+        size = self.sizes[table_name]
+        if stop is None or stop > size:
+            stop = size
+        return bound.generate_columns(start, stop, self.new_context(table_name))
 
     def iter_rows(
         self,

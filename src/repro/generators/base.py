@@ -243,5 +243,27 @@ class Generator(abc.ABC):
             append(generate(ctx))
         return values
 
+    def generate_block(self, ctx: GenerationContext, start: int, count: int):
+        """The column for rows ``[start, start + count)`` in *computed*
+        form — a :class:`repro.columnar.Column` — or ``None``.
+
+        This is the columnar extension of the batch contract: instead of
+        a Python value list, high-volume generators return a typed
+        column (numpy int64/float64/bool arrays, date ordinals,
+        dictionary indices, charset-tagged strings) that the output
+        layer formats at array level. The values must be *canonically
+        identical* to :meth:`generate_batch` under the same
+        ``ctx.seed_block`` — ``column.to_pylist()`` is the batch list —
+        which the engine relies on to keep every format byte-identical
+        between the row and columnar paths.
+
+        ``None`` means "no typed representation here" (numpy missing,
+        an unsupported parameter combination, or simply no override):
+        the engine then calls :meth:`generate_batch` and wraps the list
+        in an object-dtype fallback column. Overrides must leave
+        ``ctx.seed_block`` as they found it.
+        """
+        return None
+
     def describe(self) -> str:
         return type(self).__name__

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import datetime
 
+from repro import columnar
 from repro.exceptions import ModelError
 from repro.generators.base import BindContext, GenerationContext, Generator
 from repro.generators.registry import register
@@ -50,24 +51,27 @@ class DateGenerator(Generator):
     def generate(self, ctx: GenerationContext) -> datetime.date:
         return datetime.date.fromordinal(self._min_ordinal + ctx.rng.next_long(self._span))
 
+    def generate_block(
+        self, ctx: GenerationContext, start: int, count: int
+    ) -> columnar.DateColumn | None:
+        states = blocks.column_states(ctx.seed_block)
+        if states is None:
+            return None
+        _, outs = blocks.xorshift_step(states)
+        # Absolute ordinals; the generator-lifetime memo makes repeated
+        # days convert once per distinct day, not once per row.
+        drawn = columnar.int_column_from_u64(outs, self._span, self._min_ordinal)
+        if drawn is None:  # pragma: no cover - date ordinals always fit int64
+            return None
+        return columnar.DateColumn(drawn.data, self._ordinal_cache)
+
     def generate_batch(
         self, ctx: GenerationContext, start: int, count: int
     ) -> list:
-        states = blocks.column_states(ctx.seed_block)
-        if states is None:
+        column = self.generate_block(ctx, start, count)
+        if column is None:
             return super().generate_batch(ctx, start, count)
-        _, outs = blocks.xorshift_step(states)
-        cache = self._ordinal_cache
-        fromordinal = datetime.date.fromordinal
-        minimum = self._min_ordinal
-        values: list = []
-        append = values.append
-        for offset in blocks.bounded(outs, self._span):
-            value = cache.get(offset)
-            if value is None:
-                value = cache[offset] = fromordinal(minimum + offset)
-            append(value)
-        return values
+        return column.to_pylist()
 
 
 @register("TimestampGenerator")

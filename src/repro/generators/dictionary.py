@@ -11,6 +11,7 @@ the base dictionary entry.
 
 from __future__ import annotations
 
+from repro import columnar
 from repro.exceptions import GenerationError, ModelError
 from repro.generators.base import BindContext, GenerationContext, Generator
 from repro.generators.registry import register
@@ -87,9 +88,34 @@ class DictListGenerator(Generator):
         domain = self._domain or max(len(self._dictionary) * 10, 1000)
         return f"{value}#{ctx.rng.next_long(domain)}"
 
+    def generate_block(
+        self, ctx: GenerationContext, start: int, count: int
+    ) -> columnar.DictColumn | None:
+        # Integer dictionaries and suffixed values stay on the object
+        # path — their per-value text is not a plain entry lookup.
+        if self._as_int or not blocks.HAVE_NUMPY:
+            return None
+        import numpy as np
+
+        values = self._values
+        if self._by_row:
+            indices = np.arange(start, start + count, dtype=np.int64) % len(values)
+            return columnar.DictColumn(indices, values)
+        if self._unique_suffix:
+            return None
+        states = blocks.column_states(ctx.seed_block)
+        if states is None:
+            return None
+        _, outs = blocks.xorshift_step(states)
+        indices = self._dictionary.sample_index_block(blocks.to_doubles(outs))
+        return columnar.DictColumn(np.asarray(indices, dtype=np.int64), values)
+
     def generate_batch(
         self, ctx: GenerationContext, start: int, count: int
     ) -> list:
+        column = self.generate_block(ctx, start, count)
+        if column is not None:
+            return column.to_pylist()
         values = self._values
         if self._by_row:
             size = len(values)

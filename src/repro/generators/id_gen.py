@@ -8,10 +8,12 @@ reference generator can recompute any key without coordination.
 
 from __future__ import annotations
 
+from repro import columnar
 from repro.exceptions import ModelError
 from repro.generators.base import BindContext, GenerationContext, Generator, as_bool
 from repro.generators.registry import register
 from repro.model import formula as _formula
+from repro.prng import blocks
 
 
 @register("IdGenerator")
@@ -37,6 +39,27 @@ class IdGenerator(Generator):
             return [self._base] * count
         first = self._base + start * step
         return list(range(first, first + count * step, step))
+
+    def generate_block(
+        self, ctx: GenerationContext, start: int, count: int
+    ) -> columnar.IntColumn | None:
+        if not blocks.HAVE_NUMPY or count == 0:
+            return None
+        step = self._step
+        first = self._base + start * step
+        last = first + (count - 1) * step
+        if not (columnar.INT64_MIN <= min(first, last)
+                and max(first, last) <= columnar.INT64_MAX):
+            return None  # beyond int64: keep the arbitrary-precision path
+        if step == 0:
+            import numpy as np
+
+            return columnar.IntColumn(np.full(count, first, dtype=np.int64))
+        import numpy as np
+
+        return columnar.IntColumn(
+            np.arange(first, first + count * step, step, dtype=np.int64)
+        )
 
 
 @register("RowFormulaGenerator")

@@ -13,6 +13,7 @@ sub base time + sub generator) falls directly out of this structure.
 
 from __future__ import annotations
 
+from repro import columnar
 from repro.exceptions import ModelError
 from repro.generators.base import BindContext, GenerationContext, Generator
 from repro.generators.registry import register, build
@@ -70,6 +71,28 @@ class NullGenerator(Generator):
             None if is_null else value
             for is_null, value in zip(nulls, child_values)
         ]
+
+    def generate_block(self, ctx: GenerationContext, start: int, count: int):
+        states = blocks.column_states(ctx.seed_block)
+        if states is None:
+            return None
+        states, outs = blocks.xorshift_step(states)
+        mask = blocks.to_doubles(outs) < self._probability
+        if mask.all():
+            return columnar.ObjectColumn([None] * count)
+        parent_block = ctx.seed_block
+        ctx.seed_block = blocks.seed_block_from_states(states)
+        try:
+            child_column = self._child.generate_block(ctx, start, count)
+        finally:
+            ctx.seed_block = parent_block
+        if child_column is None:
+            # No typed child column; the engine's generate_batch fallback
+            # redoes the (deterministic) draw on the object path.
+            return None
+        if mask.any():
+            child_column.add_nulls(mask)
+        return child_column
 
     @property
     def child(self) -> Generator:

@@ -7,6 +7,7 @@ uniform when the source histogram was skewed.
 
 from __future__ import annotations
 
+from repro import columnar
 from repro.exceptions import ModelError
 from repro.generators.base import BindContext, GenerationContext, Generator
 from repro.generators.registry import register
@@ -43,9 +44,23 @@ class _BoundedNumberGenerator(Generator):
             return self._min + rank % self._span
         return self._min + ctx.rng.next_long(self._span)
 
+    def generate_block(
+        self, ctx: GenerationContext, start: int, count: int
+    ) -> columnar.IntColumn | None:
+        if self._zipf is not None:
+            return None
+        states = blocks.column_states(ctx.seed_block)
+        if states is None:
+            return None
+        _, outs = blocks.xorshift_step(states)
+        return columnar.int_column_from_u64(outs, self._span, self._min)
+
     def generate_batch(
         self, ctx: GenerationContext, start: int, count: int
     ) -> list:
+        column = self.generate_block(ctx, start, count)
+        if column is not None:
+            return column.to_pylist()
         states = blocks.column_states(ctx.seed_block)
         if states is None:
             return super().generate_batch(ctx, start, count)
@@ -114,22 +129,35 @@ class DoubleGenerator(Generator):
             value = round(value, self._places)
         return value
 
-    def generate_batch(
+    def generate_block(
         self, ctx: GenerationContext, start: int, count: int
-    ) -> list:
+    ) -> columnar.FloatColumn | None:
+        if self._distribution != "uniform":
+            return None
         states = blocks.column_states(ctx.seed_block)
-        if states is None or self._distribution != "uniform":
-            return super().generate_batch(ctx, start, count)
+        if states is None:
+            return None
         _, outs = blocks.xorshift_step(states)
         # Same IEEE-754 expression as the per-row path (min + u * span),
         # evaluated elementwise — bit-identical doubles.
-        values = (self._min + blocks.to_doubles(outs) * (self._max - self._min)).tolist()
-        if self._places is None:
-            return values
-        # round() is correctly-rounded decimal rounding; numpy's round is
-        # not — keep the scalar call so output bytes match the row path.
-        places = self._places
-        return [round(value, places) for value in values]
+        values = self._min + blocks.to_doubles(outs) * (self._max - self._min)
+        if self._places is not None:
+            # round() is correctly-rounded decimal rounding; numpy's
+            # round is not — keep the scalar call so output bytes match
+            # the row path (float64 round-trips the list exactly).
+            places = self._places
+            values = blocks.as_float64(
+                [round(value, places) for value in values.tolist()]
+            )
+        return columnar.FloatColumn(values)
+
+    def generate_batch(
+        self, ctx: GenerationContext, start: int, count: int
+    ) -> list:
+        column = self.generate_block(ctx, start, count)
+        if column is None:
+            return super().generate_batch(ctx, start, count)
+        return column.to_pylist()
 
 
 @register("BooleanGenerator")
@@ -146,11 +174,19 @@ class BooleanGenerator(Generator):
     def generate(self, ctx: GenerationContext) -> bool:
         return ctx.rng.next_double() < self._p_true
 
+    def generate_block(
+        self, ctx: GenerationContext, start: int, count: int
+    ) -> columnar.BoolColumn | None:
+        states = blocks.column_states(ctx.seed_block)
+        if states is None:
+            return None
+        _, outs = blocks.xorshift_step(states)
+        return columnar.BoolColumn(blocks.to_doubles(outs) < self._p_true)
+
     def generate_batch(
         self, ctx: GenerationContext, start: int, count: int
     ) -> list:
-        states = blocks.column_states(ctx.seed_block)
-        if states is None:
+        column = self.generate_block(ctx, start, count)
+        if column is None:
             return super().generate_batch(ctx, start, count)
-        _, outs = blocks.xorshift_step(states)
-        return (blocks.to_doubles(outs) < self._p_true).tolist()
+        return column.to_pylist()

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import string
 
+from repro import columnar
 from repro.exceptions import ModelError
 from repro.generators.base import BindContext, GenerationContext, Generator
 from repro.generators.registry import register
@@ -45,6 +46,7 @@ class RandomStringGenerator(Generator):
         alphabet = str(self.spec.params.get("alphabet", "lower"))
         self._alphabet = _ALPHABETS.get(alphabet, alphabet) or _DEFAULT_ALPHABET
         self._alpha_len = len(self._alphabet)
+        self._charset = frozenset(self._alphabet)
 
     def generate(self, ctx: GenerationContext) -> str:
         rng = ctx.rng
@@ -91,6 +93,17 @@ class RandomStringGenerator(Generator):
             for offset, length in enumerate(lengths)
         ]
 
+    def generate_block(
+        self, ctx: GenerationContext, start: int, count: int
+    ) -> columnar.StrColumn | None:
+        # The alphabet is the whole emittable charset — tagging it lets
+        # the CSV formatter skip quote scanning for the entire column.
+        if blocks.column_states(ctx.seed_block) is None:
+            return None
+        return columnar.StrColumn(
+            self.generate_batch(ctx, start, count), self._charset
+        )
+
 
 @register("PatternStringGenerator")
 class PatternStringGenerator(Generator):
@@ -106,6 +119,17 @@ class PatternStringGenerator(Generator):
         if not pattern:
             raise ModelError("PatternStringGenerator requires a pattern parameter")
         self._pattern = str(pattern)
+        charset: set[str] = set()
+        for ch in self._pattern:
+            if ch == "#":
+                charset.update(string.digits)
+            elif ch == "@":
+                charset.update(string.ascii_lowercase)
+            elif ch == "^":
+                charset.update(string.ascii_uppercase)
+            else:
+                charset.add(ch)
+        self._charset = frozenset(charset)
 
     def generate(self, ctx: GenerationContext) -> str:
         rng = ctx.rng
@@ -151,3 +175,12 @@ class PatternStringGenerator(Generator):
             )
             for offset in range(count)
         ]
+
+    def generate_block(
+        self, ctx: GenerationContext, start: int, count: int
+    ) -> columnar.StrColumn | None:
+        if blocks.column_states(ctx.seed_block) is None:
+            return None
+        return columnar.StrColumn(
+            self.generate_batch(ctx, start, count), self._charset
+        )

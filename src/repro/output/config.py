@@ -29,7 +29,13 @@ class OutputConfig:
     """Describes how generated rows are formatted and where they go.
 
     ``kind``: ``"file"``, ``"gzip"``, ``"null"``, ``"memory"``, or ``"sqlite"``.
-    ``format``: ``"csv"``, ``"json"``, ``"xml"``, or ``"sql"``.
+    ``format``: ``"csv"``, ``"json"``, ``"xml"``, ``"sql"``, ``"arrow"``,
+    or ``"parquet"`` (the binary formats need the optional pyarrow extra).
+    ``columnar`` selects the columnar fast path: ``None`` (default) means
+    "wherever the writer supports it", ``False`` forces the row path for
+    text formats (the binary formats are columnar-only). Both paths emit
+    identical bytes, so — like the scheduler backend — the flag is a
+    performance knob, not part of the output's identity.
     """
 
     kind: str = "null"
@@ -43,9 +49,19 @@ class OutputConfig:
     timestamp_format: str = "%Y-%m-%d %H:%M:%S"
     float_places: int | None = None
     extension: str = ""
+    columnar: bool | None = None
     _memory_sinks: dict[str, MemorySink] = field(default_factory=dict, repr=False)
 
-    _EXTENSIONS = {"csv": ".tbl", "json": ".json", "xml": ".xml", "sql": ".sql"}
+    _EXTENSIONS = {
+        "csv": ".tbl",
+        "json": ".json",
+        "xml": ".xml",
+        "sql": ".sql",
+        "arrow": ".arrow",
+        "parquet": ".parquet",
+    }
+
+    _BINARY_FORMATS = ("arrow", "parquet")
 
     def __post_init__(self) -> None:
         if self.kind not in ("file", "gzip", "null", "memory", "sqlite"):
@@ -53,6 +69,21 @@ class OutputConfig:
         if self.kind == "sqlite" and self.format != "sql":
             raise OutputError("sqlite sinks require format='sql'")
         writer_for(self.format)  # validates the format name early
+        if self.format in self._BINARY_FORMATS:
+            if self.kind not in ("file", "null", "memory"):
+                raise OutputError(
+                    f"format {self.format!r} supports file/null/memory sinks, "
+                    f"not kind={self.kind!r}"
+                )
+            from repro.output.arrow import have_pyarrow, require_pyarrow
+
+            if not have_pyarrow():
+                require_pyarrow(f"{self.format} output")  # raises OutputError
+            if self.columnar is False:
+                raise OutputError(
+                    f"format {self.format!r} is columnar-only; "
+                    "columnar=False is not available"
+                )
 
     def new_formatter(self) -> ValueFormatter:
         """A fresh formatter (each worker owns one; caches are not shared)."""
@@ -73,13 +104,31 @@ class OutputConfig:
                 delimiter=self.delimiter,
                 include_header=self.include_header,
             )  # type: ignore[call-arg]
+        if self.format in self._BINARY_FORMATS:
+            mode = "parquet" if self.format == "parquet" else "stream"
+            return cls(table, columns, self.new_formatter(), mode=mode)  # type: ignore[call-arg]
         return cls(table, columns, self.new_formatter())
+
+    def use_columnar(self, writer: RowWriter) -> bool:
+        """Whether the scheduler should drive *writer* via write_block."""
+        if not writer.supports_columns:
+            return False
+        if self.format in self._BINARY_FORMATS:
+            return True  # no row-text form exists
+        if self.columnar is None:
+            return True
+        return bool(self.columnar)
 
     def table_path(self, table: str) -> str:
         extension = self.extension or self._EXTENSIONS.get(self.format, ".out")
         return os.path.join(self.directory, table + extension)
 
-    def new_sink(self, table: str, resume_at: int | None = None) -> Sink:
+    def new_sink(
+        self,
+        table: str,
+        resume_at: int | None = None,
+        resume_packages: int | None = None,
+    ) -> Sink:
         """A fresh sink for one table.
 
         ``resume_at`` is the checkpointed durable byte offset of a
@@ -87,7 +136,9 @@ class OutputConfig:
         null/memory sinks start empty (their output is ephemeral per
         run); sqlite sinks keep the already-loaded rows (skipped
         packages are already in the database); gzip sinks cannot be
-        truncated mid-stream and refuse to resume.
+        truncated mid-stream and refuse to resume. Parquet sinks ignore
+        byte offsets and resume by copying the first ``resume_packages``
+        durable row groups (one work package each) into a fresh file.
         """
         if self.kind == "null":
             return NullSink()
@@ -106,7 +157,18 @@ class OutputConfig:
                     "truncatable; restart the run or use kind='file'"
                 )
             return GzipFileSink(self.table_path(table) + ".gz")
-        return FileSink(self.table_path(table), resume_at=resume_at)
+        if self.format == "parquet":
+            from repro.output.arrow import ParquetSink
+
+            return ParquetSink(
+                self.table_path(table),
+                resume_packages=resume_packages if resume_at is not None else None,
+            )
+        return FileSink(
+            self.table_path(table),
+            resume_at=resume_at,
+            binary=self.format in self._BINARY_FORMATS,
+        )
 
     def memory_output(self, table: str) -> str:
         """The collected output of a memory run (tests, previews)."""

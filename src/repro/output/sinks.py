@@ -73,6 +73,9 @@ class FileSink(Sink):
     run manifest vouches for) and new chunks append after it. A file
     shorter than the durable prefix means the checkpoint outlived the
     data (e.g. lost buffers on a hard kill) and is refused.
+
+    ``binary`` opens the file in bytes mode for the binary columnar
+    formats (Arrow IPC streams); chunks are then ``bytes`` end to end.
     """
 
     def __init__(
@@ -80,20 +83,25 @@ class FileSink(Sink):
         path: str,
         buffer_size: int = 1 << 20,
         resume_at: int | None = None,
+        binary: bool = False,
     ) -> None:
         super().__init__()
         self.path = path
+        mode = "a" if resume_at is not None else "w"
         try:
             directory = os.path.dirname(os.path.abspath(path))
             os.makedirs(directory, exist_ok=True)
             if resume_at is not None:
                 self._truncate_to(path, resume_at)
-            self._handle: io.TextIOWrapper | None = open(
-                path,
-                "a" if resume_at is not None else "w",
-                encoding="utf-8",
-                buffering=buffer_size,
-            )
+            if binary:
+                self._handle = open(path, mode + "b", buffering=buffer_size)
+            else:
+                self._handle: io.TextIOWrapper | None = open(
+                    path,
+                    mode,
+                    encoding="utf-8",
+                    buffering=buffer_size,
+                )
         except OSError as exc:
             raise OutputError(f"cannot open {path!r}: {exc}") from exc
 
@@ -172,18 +180,26 @@ class GzipFileSink(Sink):
 
 
 class MemorySink(Sink):
-    """Collects output in memory; used by previews and tests."""
+    """Collects output in memory; used by previews and tests.
+
+    Chunks may be text or bytes (binary columnar formats); a run never
+    mixes the two, and :meth:`getvalue` joins with whichever type it
+    collected.
+    """
 
     def __init__(self) -> None:
         super().__init__()
-        self._parts: list[str] = []
+        self._parts: list = []
 
-    def write(self, chunk: str) -> None:
+    def write(self, chunk) -> None:
         self._parts.append(chunk)
         self.bytes_written += len(chunk)
 
-    def getvalue(self) -> str:
-        return "".join(self._parts)
+    def getvalue(self):
+        parts = self._parts
+        if parts and isinstance(parts[0], bytes):
+            return b"".join(parts)
+        return "".join(parts)
 
 
 class CallbackSink(Sink):

@@ -11,8 +11,10 @@ from __future__ import annotations
 
 import abc
 import json
+import math
 
 from repro.exceptions import OutputError
+from repro.output.columnar import csv_escape, format_csv_block
 from repro.output.rows import ValueFormatter
 
 
@@ -21,6 +23,10 @@ class RowWriter(abc.ABC):
 
     #: registry name used by output configuration files
     format_name: str = ""
+
+    #: True when :meth:`write_block` has a vectorized columnar path
+    #: (or, for binary formats, *requires* column blocks)
+    supports_columns: bool = False
 
     def __init__(
         self,
@@ -51,15 +57,33 @@ class RowWriter(abc.ABC):
         write_row = self.write_row
         return "".join(write_row(row) for row in rows)  # hot-loop-ok: contract fallback
 
+    def write_block(self, block, first: bool = False):
+        """The chunk for one :class:`~repro.columnar.ColumnBlock`.
+
+        Must produce exactly the bytes :meth:`write_rows` would for the
+        transposed block (the default does just that), so the columnar
+        and row paths can never diverge. *first* is True for the run's
+        first package — binary writers use it to emit stream framing
+        (e.g. the Arrow schema) exactly once.
+        """
+        return self.write_rows(block.to_rows())
+
     def footer(self) -> str:
         """Text emitted once after the last row (may be empty)."""
         return ""
 
 
 class CsvWriter(RowWriter):
-    """Delimiter-separated values; the PDGF/dbgen default is ``|``."""
+    """Delimiter-separated values; the PDGF/dbgen default is ``|``.
+
+    Fields containing the delimiter, a double quote, or the row
+    terminator are quoted RFC 4180 style (wrapped in ``"`` with inner
+    quotes doubled) — all three would otherwise corrupt row/field
+    boundaries or round-tripping, so all three trigger quoting.
+    """
 
     format_name = "csv"
+    supports_columns = True
 
     def __init__(
         self,
@@ -76,6 +100,9 @@ class CsvWriter(RowWriter):
         self.delimiter = delimiter
         self.include_header = include_header
         self.terminator = terminator
+        #: characters that force quoting — shared by the row path, the
+        #: block fast path, and the columnar formatter
+        self.specials = frozenset(delimiter) | {'"'} | frozenset(terminator)
 
     def header(self) -> str:
         if not self.include_header:
@@ -84,14 +111,9 @@ class CsvWriter(RowWriter):
 
     def write_row(self, values: list[object]) -> str:
         fmt = self.formatter.format
-        delimiter = self.delimiter
-        parts = []
-        for value in values:
-            text = fmt(value)
-            if delimiter in text:
-                text = '"' + text.replace('"', '""') + '"'
-            parts.append(text)
-        return delimiter.join(parts) + self.terminator
+        specials = self.specials
+        parts = [csv_escape(fmt(value), specials) for value in values]
+        return self.delimiter.join(parts) + self.terminator
 
     def write_rows(self, rows: list[list[object]]) -> str:
         # Inline the row loop only when write_row is not overridden, so
@@ -99,37 +121,49 @@ class CsvWriter(RowWriter):
         if type(self).write_row is not CsvWriter.write_row:
             return super().write_rows(rows)
         fmt = self.formatter.format
-        delimiter = self.delimiter
-        join = delimiter.join
+        specials = self.specials
+        join = self.delimiter.join
         terminator = self.terminator
         chunks: list[str] = []
         append = chunks.append
         for values in rows:
-            parts = []
-            for value in values:
-                text = fmt(value)
-                if delimiter in text:
-                    text = '"' + text.replace('"', '""') + '"'
-                parts.append(text)
-            append(join(parts))
+            append(join(csv_escape(fmt(value), specials) for value in values))
             append(terminator)
         return "".join(chunks)
 
+    def write_block(self, block, first: bool = False) -> str:
+        # The vectorized formatter reproduces write_row's bytes exactly;
+        # subclasses customizing per-row formatting keep the row path.
+        if type(self).write_row is not CsvWriter.write_row:
+            return super().write_block(block, first)
+        return format_csv_block(block, self)
+
 
 class JsonWriter(RowWriter):
-    """One JSON object per line (JSON-lines), NULLs as ``null``."""
+    """One JSON object per line (JSON-lines), NULLs as ``null``.
+
+    Non-finite floats become ``null``: JSON has no NaN/Infinity literal,
+    and ``json.dumps``'s permissive default would emit tokens
+    ``json.loads`` itself is the only parser happy to read back.
+    ``allow_nan=False`` keeps the serializer honest about it.
+    """
 
     format_name = "json"
 
     def write_row(self, values: list[object]) -> str:
         obj: dict[str, object] = {}
         for name, value in zip(self.columns, values):
-            if value is None or isinstance(value, (bool, int, float, str)):
+            if isinstance(value, float) and not math.isfinite(value):
+                obj[name] = None
+            elif value is None or isinstance(value, (bool, int, float, str)):
                 obj[name] = value
             else:
                 obj[name] = self.formatter.format(value)
         # Sinks are UTF-8; keep non-ASCII text readable instead of \u-escaped.
-        return json.dumps(obj, separators=(",", ":"), ensure_ascii=False) + "\n"
+        return (
+            json.dumps(obj, separators=(",", ":"), ensure_ascii=False, allow_nan=False)
+            + "\n"
+        )
 
 
 class XmlWriter(RowWriter):
@@ -174,7 +208,14 @@ class SqlWriter(RowWriter):
             if value is None:
                 rendered.append("NULL")
             elif isinstance(value, bool):
+                # Checked before int (bool subclasses int) so True never
+                # leaks as the bare literal ``True``.
                 rendered.append("TRUE" if value else "FALSE")
+            elif isinstance(value, float) and not math.isfinite(value):
+                # No portable SQL literal exists for NaN/Infinity; the
+                # formatter's repr would be a syntax error in most
+                # dialects, so store SQL's own missing-value marker.
+                rendered.append("NULL")
             elif isinstance(value, (int, float)):
                 rendered.append(self.formatter.format(value))
             else:
@@ -193,12 +234,22 @@ _WRITERS: dict[str, type[RowWriter]] = {
     "sql": SqlWriter,
 }
 
+#: binary columnar formats, both served by ArrowWriter (imported lazily
+#: so the pyarrow-free install never pays the module import)
+BINARY_FORMATS = ("arrow", "parquet")
+
 
 def writer_for(format_name: str) -> type[RowWriter]:
     """Look up a writer class by its format name."""
+    name = format_name.lower()
+    if name in BINARY_FORMATS:
+        from repro.output.arrow import ArrowWriter
+
+        return ArrowWriter
     try:
-        return _WRITERS[format_name.lower()]
+        return _WRITERS[name]
     except KeyError:
+        known = sorted(list(_WRITERS) + list(BINARY_FORMATS))
         raise OutputError(
-            f"unknown output format {format_name!r}; known: {', '.join(sorted(_WRITERS))}"
+            f"unknown output format {format_name!r}; known: {', '.join(known)}"
         ) from None

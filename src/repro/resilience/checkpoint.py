@@ -104,13 +104,14 @@ def model_fingerprint(
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
 
-def chunk_digest(chunk: str) -> tuple[int, str]:
-    """``(byte length, sha256 hex)`` of a chunk's UTF-8 encoding.
+def chunk_digest(chunk) -> tuple[int, str]:
+    """``(byte length, sha256 hex)`` of a chunk's bytes.
 
     Manifest byte counts are true encoded bytes (not ``len(str)``) so
-    that resume can truncate output files at exact byte offsets.
+    that resume can truncate output files at exact byte offsets. Binary
+    columnar chunks (Arrow/Parquet) are already bytes and hash as-is.
     """
-    data = chunk.encode("utf-8")
+    data = chunk if isinstance(chunk, bytes) else chunk.encode("utf-8")
     return len(data), hashlib.sha256(data).hexdigest()
 
 

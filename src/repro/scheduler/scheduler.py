@@ -336,10 +336,21 @@ def _process_worker_main(
                 bound = engine.bound_table(package.table)
                 writer = output.new_writer(package.table, bound.column_names)
                 ctx = engine.new_context(package.table)
+                columnar_path = output.use_columnar(writer)
                 with span("package.generate", table=package.table):
-                    rows = bound.generate_rows(package.start, package.stop, ctx)
+                    if columnar_path:
+                        block = bound.generate_columns(
+                            package.start, package.stop, ctx
+                        )
+                    else:
+                        rows = bound.generate_rows(package.start, package.stop, ctx)
                 with span("package.format", table=package.table):
-                    chunk = writer.write_rows(rows)
+                    if columnar_path:
+                        chunk = writer.write_block(
+                            block, first=package.sequence == 0
+                        )
+                    else:
+                        chunk = writer.write_rows(rows)
                 package_span.set(bytes=len(chunk))
             elapsed = time.perf_counter() - started
             formatter = writer.formatter
@@ -790,7 +801,9 @@ class Scheduler:
             # header became durable: regenerate from the top.
             return self.output.new_sink(name)
         resume_at = (state.header_bytes or 0) + sum(r.bytes for r in prefix)
-        return self.output.new_sink(name, resume_at=resume_at)
+        return self.output.new_sink(
+            name, resume_at=resume_at, resume_packages=len(prefix)
+        )
 
     def _emergency_teardown(self, sinks, journal, exc: BaseException) -> None:
         """Best-effort fsync-and-close after SIGINT or a crash."""
@@ -887,10 +900,17 @@ class Scheduler:
             bound = engine.bound_table(package.table)
             writer = self.output.new_writer(package.table, bound.column_names)
             ctx = engine.new_context(package.table)
+            columnar_path = self.output.use_columnar(writer)
             with span("package.generate", table=package.table):
-                rows = bound.generate_rows(package.start, package.stop, ctx)
+                if columnar_path:
+                    block = bound.generate_columns(package.start, package.stop, ctx)
+                else:
+                    rows = bound.generate_rows(package.start, package.stop, ctx)
             with span("package.format", table=package.table):
-                chunk = writer.write_rows(rows)
+                if columnar_path:
+                    chunk = writer.write_block(block, first=package.sequence == 0)
+                else:
+                    chunk = writer.write_rows(rows)
             package_span.set(bytes=len(chunk))
             mux.submit(package.sequence, chunk)
         elapsed = time.perf_counter() - started

@@ -235,13 +235,35 @@ class TestKitchenSinkEquivalence:
     def test_wrong_batch_length_raises(self, sink_engine):
         bound = sink_engine.bound_table("supplier")
         generator = bound.generators[0]
-        original = type(generator).generate_batch
+        cls = type(generator)
+        original_block = cls.generate_block
+        original_batch = cls.generate_batch
         try:
-            type(generator).generate_batch = lambda self, ctx, start, count: []
+            # Silence the typed kernel so the engine takes the batch
+            # fallback, then hand it a wrong-length list.
+            cls.generate_block = lambda self, ctx, start, count: None
+            cls.generate_batch = lambda self, ctx, start, count: []
             with pytest.raises(GenerationError, match="returned 0 values"):
                 sink_engine.generate_rows("supplier", 0, 4)
         finally:
-            type(generator).generate_batch = original
+            cls.generate_block = original_block
+            cls.generate_batch = original_batch
+
+    def test_wrong_block_length_raises(self, sink_engine):
+        from repro import columnar
+
+        bound = sink_engine.bound_table("supplier")
+        generator = bound.generators[0]
+        cls = type(generator)
+        original_block = cls.generate_block
+        try:
+            cls.generate_block = lambda self, ctx, start, count: (
+                columnar.ObjectColumn([1])
+            )
+            with pytest.raises(GenerationError, match="returned 1 values"):
+                sink_engine.generate_rows("supplier", 0, 4)
+        finally:
+            cls.generate_block = original_block
 
 
 class TestEnginePickleMidRun:

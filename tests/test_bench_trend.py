@@ -148,6 +148,7 @@ class TestMainGateLoop:
             "thread_mb_per_s": 10.0,
             "process_mb_per_s": 20.0,
             "batch_ns_per_value": 100.0,
+            "columnar_mb_per_s": 30.0,
         }
         monkeypatch.setattr(
             bench_trend, "run_measurements", lambda smoke: dict(self.measured)

@@ -182,7 +182,13 @@ class TestWriterRegistry:
 
     def test_unknown(self):
         with pytest.raises(OutputError, match="unknown output format"):
-            writer_for("parquet")
+            writer_for("feather")
+
+    def test_binary_formats_resolve(self):
+        from repro.output.arrow import ArrowWriter
+
+        assert writer_for("arrow") is ArrowWriter
+        assert writer_for("parquet") is ArrowWriter
 
 
 class TestSinks:

@@ -9,7 +9,9 @@ JSON ledger (``BENCH_core.json`` by default):
 * ``thread_mb_per_s``  — TPC-H generation throughput, thread backend;
 * ``process_mb_per_s`` — the same slice on the process backend;
 * ``batch_ns_per_value`` — batch fast-path per-value latency over the
-  high-volume generator classes (id, long uniform, dictionary).
+  high-volume generator classes (id, long uniform, dictionary);
+* ``columnar_mb_per_s`` — columnar CSV throughput on a typed-column
+  schema, thread backend (the vectorized block-formatter fast path).
 
 Every entry records the commit, timestamp, and a machine fingerprint
 (platform + CPU count + Python version). The regression gate compares
@@ -49,6 +51,7 @@ METRICS = {
     "thread_mb_per_s": "up",
     "process_mb_per_s": "up",
     "batch_ns_per_value": "down",
+    "columnar_mb_per_s": "up",
 }
 
 
@@ -136,6 +139,50 @@ def measure_batch_ns_per_value(rows: int, rounds: int) -> float:
     return best
 
 
+def measure_columnar_mb_per_s(rows: int, rounds: int) -> float:
+    """Best-of-rounds columnar CSV throughput (thread backend) on a wide
+    typed-column table — every column takes a vectorized formatter path
+    (the benchmark schema from ``bench_batch_vs_row``)."""
+    from repro.engine import GenerationEngine
+    from repro.model.schema import Field, GeneratorSpec, Schema, Table
+    from repro.output.config import OutputConfig
+    from repro.scheduler import Scheduler
+
+    schema = Schema("trend-columnar", seed=11)
+    schema.add_table(Table("w", str(rows), [
+        Field.of("w_id", "BIGINT", GeneratorSpec("IdGenerator")),
+        Field.of("w_key", "BIGINT", GeneratorSpec(
+            "LongGenerator", {"min": 1, "max": 10_000_000}
+        )),
+        Field.of("w_qty", "BIGINT", GeneratorSpec(
+            "LongGenerator", {"min": 1, "max": 50}
+        )),
+        Field.of("w_money", "DECIMAL(12,2)", GeneratorSpec(
+            "DoubleGenerator", {"min": 0.0, "max": 1000.0, "places": 2}
+        )),
+        Field.of("w_bool", "BOOLEAN", GeneratorSpec(
+            "BooleanGenerator", {"true_probability": 0.5}
+        )),
+        Field.of("w_date", "DATE", GeneratorSpec(
+            "DateGenerator", {"min": "1992-01-01", "max": "1998-12-31"}
+        )),
+        Field.of("w_dict", "VARCHAR(10)", GeneratorSpec(
+            "DictListGenerator",
+            {"values": ["alpha", "beta", "gamma", "delta", "epsilon"],
+             "weights": [5, 4, 3, 2, 1]},
+        )),
+    ]))
+    best = 0.0
+    for _ in range(rounds):
+        engine = GenerationEngine(schema)
+        report = Scheduler(
+            engine, OutputConfig(kind="null"),
+            workers=1, package_size=10_000, backend="thread",
+        ).run()
+        best = max(best, report.mb_per_second)
+    return best
+
+
 def run_measurements(smoke: bool) -> dict[str, float]:
     scale_factor = 0.002 if smoke else 0.01
     rounds = 2 if smoke else 3
@@ -150,6 +197,9 @@ def run_measurements(smoke: bool) -> dict[str, float]:
         ),
         "batch_ns_per_value": round(
             measure_batch_ns_per_value(rows, rounds), 1
+        ),
+        "columnar_mb_per_s": round(
+            measure_columnar_mb_per_s(10_000 if smoke else 40_000, rounds), 3
         ),
     }
 

@@ -1,6 +1,6 @@
 """Structural lint for scheduler/output paths: hot loops and swallowed errors.
 
-Three checks, one AST walk:
+Four checks, one AST walk:
 
 **Hot-loop check.** The batch-first fast path (PR: batched generation)
 only pays off if the scheduler work-package loop and the writer block
@@ -33,6 +33,16 @@ in :mod:`repro.obs.export` (called once, after the run) and
 :mod:`repro.obs.serve` (its own thread). Waive a deliberate call with
 ``# span-io-ok: <reason>``.
 
+**Columnar fast-path check.** The columnar pipeline (PR: Arrow/Parquet
+sinks) exists to format whole arrays at once; a per-value
+``formatter.format(...)`` call inside the vectorized formatter modules
+(:mod:`repro.output.columnar`, :mod:`repro.output.arrow`) collapses the
+fast path back to row-at-a-time cost without failing any correctness
+test — the bytes stay identical, only the throughput regresses. Any
+``format()`` call in those files must carry a ``# columnar-ok: <reason>``
+waiver naming why the scalar fallback is deliberate (charset clash,
+per-unique date rendering, Arrow type fallback).
+
 Checked scope: ``src/repro/scheduler/``, ``src/repro/output/``, and the
 span-recording obs modules.
 
@@ -59,6 +69,14 @@ BANNED_IO_CALLS = (
     "sendall", "recv", "popen", "system",
 )
 SPAN_IO_WAIVER = "span-io-ok"
+
+#: vectorized formatter modules where per-value format() is banned.
+COLUMNAR_HOT_FILES = (
+    "src/repro/output/columnar.py",
+    "src/repro/output/arrow.py",
+)
+BANNED_COLUMNAR_CALLS = ("format",)
+COLUMNAR_WAIVER = "columnar-ok"
 
 
 def _call_name(node: ast.Call) -> str | None:
@@ -90,7 +108,9 @@ def _reraises(handler: ast.ExceptHandler) -> bool:
     return any(isinstance(node, ast.Raise) for node in ast.walk(handler))
 
 
-def check_file(path: Path, span_hot: bool = False) -> list[str]:
+def check_file(
+    path: Path, span_hot: bool = False, columnar_hot: bool = False
+) -> list[str]:
     source = path.read_text(encoding="utf-8")
     lines = source.splitlines()
     violations = []
@@ -105,6 +125,16 @@ def check_file(path: Path, span_hot: bool = False) -> list[str]:
                         f"I/O call {name}() in a span-recording path; move "
                         "it to repro.obs.export/serve or waive with "
                         f"'# {SPAN_IO_WAIVER}: <reason>'"
+                    )
+                continue
+            if columnar_hot and name in BANNED_COLUMNAR_CALLS:
+                line = lines[node.lineno - 1]
+                if COLUMNAR_WAIVER not in line:
+                    violations.append(
+                        f"{path.relative_to(REPO)}:{node.lineno}: per-value "
+                        f"{name}() call in a vectorized formatter module; "
+                        "format whole arrays, or waive the deliberate scalar "
+                        f"fallback with '# {COLUMNAR_WAIVER}: <reason>'"
                     )
                 continue
             if name not in BANNED_CALLS:
@@ -137,10 +167,13 @@ def check_file(path: Path, span_hot: bool = False) -> list[str]:
 def main() -> int:
     violations: list[str] = []
     checked = 0
+    columnar_hot = {REPO / rel for rel in COLUMNAR_HOT_FILES}
     for rel in CHECKED_DIRS:
         for path in sorted((REPO / rel).rglob("*.py")):
             checked += 1
-            violations.extend(check_file(path))
+            violations.extend(
+                check_file(path, columnar_hot=path in columnar_hot)
+            )
     for rel in SPAN_HOT_FILES:
         checked += 1
         violations.extend(check_file(REPO / rel, span_hot=True))
