@@ -1,0 +1,302 @@
+"""``dbsynth serve`` load driver: concurrent range requests, mixed formats.
+
+The serving tentpole's evaluation harness. A :class:`DataServer` is
+booted on a TPC-H dataset and hammered with hundreds of overlapping
+row-range requests across csv and json (plus arrow when pyarrow is
+installed), from a thread pool sized past the server's executor, and
+the driver reports requests/second plus the p50/p99 request latency.
+Every response is digest-checked against a cold single-shot batch
+generate of the same model, so the load series is also a determinism
+test: concurrency may change timing, never bytes.
+
+Run as a script: ``--smoke`` is the CI mode (small scale, fewer
+requests, hard digest + metrics assertions); the full run prints the
+load table recorded in EXPERIMENTS.md and is what
+``tools/bench_trend.py`` samples for ``serve_rps``/``serve_p99_ms``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import random
+import sys
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from urllib.request import urlopen
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+DEFAULT_SCALE = 0.01
+SMOKE_SCALE = 0.002
+PACKAGE_SIZE = 2000
+
+#: tables the driver slices (the two biggest plus a small dimension,
+#: so the mix has both long streams and sub-package point reads)
+TABLES = ("lineitem", "orders", "customer")
+
+
+def build_dataset(scale_factor: float):
+    """The served TPC-H dataset (fixed package size for framing)."""
+    from repro.api import Dataset
+
+    return Dataset.from_suite(
+        "tpch", scale_factor, package_size=PACKAGE_SIZE
+    )
+
+
+def cold_reference(scale_factor: float, formats: tuple[str, ...]):
+    """Cold single-shot batch outputs, as line lists per table/format.
+
+    A fresh engine through the batch scheduler — deliberately *not* the
+    server's Dataset path — so digest checks compare two independent
+    routes to the same bytes.
+    """
+    from repro.engine import GenerationEngine
+    from repro.output.config import OutputConfig
+    from repro.scheduler import generate
+    from repro.suites.tpch import tpch_artifacts, tpch_schema
+
+    reference: dict[tuple[str, str], list[str]] = {}
+    for fmt in formats:
+        engine = GenerationEngine(tpch_schema(scale_factor), tpch_artifacts())
+        output = OutputConfig(kind="memory", format=fmt)
+        generate(engine, output, package_size=PACKAGE_SIZE, tables=list(TABLES))
+        for table in TABLES:
+            reference[(table, fmt)] = output.memory_output(table).splitlines(
+                keepends=True
+            )
+    return reference
+
+
+def make_requests(
+    sizes: dict[str, int],
+    count: int,
+    formats: tuple[str, ...],
+    seed: int = 20150531,
+) -> list[tuple[str, int, int, str]]:
+    """A deterministic overlapping mix of ``(table, start, stop, fmt)``."""
+    rng = random.Random(seed)
+    requests = []
+    for _ in range(count):
+        table = rng.choice(TABLES)
+        size = sizes[table]
+        fmt = rng.choice(formats)
+        start = rng.randrange(0, size)
+        stop = min(size, start + rng.choice((1, 64, 512, 4096)))
+        requests.append((table, start, stop, fmt))
+    return requests
+
+
+@dataclass
+class LoadStats:
+    """One load round: volume, throughput, latency, failures."""
+
+    requests: int
+    seconds: float
+    bytes: int
+    p50_ms: float
+    p99_ms: float
+    mismatches: int
+    errors: int
+
+    @property
+    def rps(self) -> float:
+        return self.requests / self.seconds if self.seconds > 0 else 0.0
+
+
+def run_load(
+    base_url: str,
+    requests: list[tuple[str, int, int, str]],
+    reference,
+    concurrency: int = 16,
+) -> LoadStats:
+    """Fire the request mix concurrently; digest-check every response."""
+    latencies: list[float] = []
+    totals = {"bytes": 0, "mismatches": 0, "errors": 0}
+
+    def hit(item):
+        table, start, stop, fmt = item
+        url = f"{base_url}/table/{table}/rows/{start}-{stop}?format={fmt}"
+        began = time.perf_counter()
+        try:
+            with urlopen(url, timeout=60) as response:
+                body = response.read()
+        except OSError:
+            totals["errors"] += 1
+            return
+        latencies.append(time.perf_counter() - began)
+        totals["bytes"] += len(body)
+        expected = "".join(reference[(table, fmt)][start:stop]).encode("utf-8")
+        got = hashlib.sha256(body).hexdigest()
+        want = hashlib.sha256(expected).hexdigest()
+        if got != want:
+            totals["mismatches"] += 1
+
+    started = time.perf_counter()
+    with ThreadPoolExecutor(max_workers=concurrency) as pool:
+        list(pool.map(hit, requests))
+    elapsed = time.perf_counter() - started
+    ranked = sorted(latencies) or [0.0]
+
+    def quantile(q: float) -> float:
+        return ranked[min(len(ranked) - 1, int(q * len(ranked)))] * 1000
+
+    return LoadStats(
+        requests=len(latencies),
+        seconds=elapsed,
+        bytes=totals["bytes"],
+        p50_ms=round(quantile(0.50), 2),
+        p99_ms=round(quantile(0.99), 2),
+        mismatches=totals["mismatches"],
+        errors=totals["errors"],
+    )
+
+
+def measure_serve(
+    scale_factor: float = DEFAULT_SCALE,
+    request_count: int = 400,
+    concurrency: int = 16,
+    rounds: int = 2,
+) -> dict[str, float]:
+    """``{serve_rps, serve_p99_ms}`` — the bench_trend entry point.
+
+    Best-of-rounds against one server instance; round 1 doubles as
+    warmup (engine cache population, executor spin-up).
+    """
+    from repro.obs.registry import MetricsRegistry
+    from repro.serve import DataServer
+
+    dataset = build_dataset(scale_factor)
+    formats = ("csv", "json")
+    reference = cold_reference(scale_factor, formats)
+    requests = make_requests(dataset.tables, request_count, formats)
+    server = DataServer(
+        dataset, workers=concurrency, registry=MetricsRegistry()
+    ).start()
+    try:
+        best_rps, best_p99 = 0.0, float("inf")
+        for _ in range(max(1, rounds)):
+            stats = run_load(server.url, requests, reference, concurrency)
+            if stats.mismatches or stats.errors:
+                raise AssertionError(
+                    f"load round failed determinism: {stats.mismatches} "
+                    f"mismatches, {stats.errors} errors"
+                )
+            best_rps = max(best_rps, stats.rps)
+            best_p99 = min(best_p99, stats.p99_ms)
+        return {
+            "serve_rps": round(best_rps, 1),
+            "serve_p99_ms": round(best_p99, 2),
+        }
+    finally:
+        server.stop()
+
+
+# -- script mode --------------------------------------------------------------
+
+
+def _run(scale_factor: float, request_count: int, concurrency: int, smoke: bool) -> int:
+    from repro.obs.registry import MetricsRegistry
+    from repro.serve import DataServer
+
+    formats = ["csv", "json"]
+    try:
+        import pyarrow  # noqa: F401 - probe only
+
+        if not smoke:
+            formats.append("arrow")
+    except ImportError:
+        pass
+
+    dataset = build_dataset(scale_factor)
+    reference = cold_reference(scale_factor, tuple(f for f in formats if f != "arrow"))
+    requests = make_requests(
+        dataset.tables, request_count, ("csv", "json")
+    )
+    if "arrow" in formats:
+        # arrow ranges must be package-aligned; add full-table streams
+        requests += [
+            (table, 0, dataset.tables[table], "arrow") for table in TABLES
+        ]
+        for table in TABLES:
+            reference[(table, "arrow")] = None  # checked as full slices
+
+    registry = MetricsRegistry()
+    server = DataServer(dataset, workers=concurrency, registry=registry).start()
+    print(
+        f"serving tpch sf={scale_factor} at {server.url}; "
+        f"{len(requests)} requests, {concurrency} clients"
+    )
+    try:
+        # arrow full-table responses check against Dataset.slice directly
+        arrow_failures = 0
+        if "arrow" in formats:
+            for table in TABLES:
+                size = dataset.tables[table]
+                with urlopen(
+                    f"{server.url}/table/{table}/rows/0-{size}?format=arrow",
+                    timeout=120,
+                ) as response:
+                    body = response.read()
+                if body != dataset.slice(table, 0, size, format="arrow"):
+                    arrow_failures += 1
+            requests = [r for r in requests if r[3] != "arrow"]
+
+        stats = run_load(server.url, requests, reference, concurrency)
+        print(
+            f"load: {stats.requests} requests in {stats.seconds:.2f} s = "
+            f"{stats.rps:.1f} req/s, p50 {stats.p50_ms:.1f} ms, "
+            f"p99 {stats.p99_ms:.1f} ms, "
+            f"{stats.bytes / 1048576:.1f} MiB streamed"
+        )
+        failures = stats.mismatches + stats.errors + arrow_failures
+        if stats.mismatches:
+            print(f"FAIL: {stats.mismatches} responses diverged from cold generate")
+        if stats.errors:
+            print(f"FAIL: {stats.errors} requests errored")
+        if arrow_failures:
+            print(f"FAIL: {arrow_failures} arrow streams diverged")
+
+        served = registry.get("serve_requests_total")
+        ok_count = served.value(route="slice", status="200") if served else 0
+        expected_ok = stats.requests + (len(TABLES) if "arrow" in formats else 0)
+        if ok_count < expected_ok:
+            print(
+                f"FAIL: /metrics counted {ok_count} 200s for "
+                f"{expected_ok} successful requests"
+            )
+            failures += 1
+        else:
+            print(f"metrics: serve_requests_total ok ({ok_count} 200s)")
+
+        if failures == 0:
+            print(
+                "smoke ok: every concurrent slice matched the cold "
+                "single-shot generate" if smoke else "load run ok"
+            )
+        return 1 if failures else 0
+    finally:
+        server.stop()
+
+
+def main(argv: list[str] | None = None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="CI mode: small scale, fewer requests, hard assertions",
+    )
+    parser.add_argument("--scale-factor", type=float, default=None)
+    parser.add_argument("--requests", type=int, default=None)
+    parser.add_argument("--concurrency", type=int, default=16)
+    args = parser.parse_args(argv)
+    scale = args.scale_factor or (SMOKE_SCALE if args.smoke else DEFAULT_SCALE)
+    count = args.requests or (120 if args.smoke else 500)
+    return _run(scale, count, args.concurrency, args.smoke)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

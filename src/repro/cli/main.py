@@ -38,6 +38,7 @@ from repro.engine import GenerationEngine
 from repro.exceptions import ReproError
 from repro.generators.base import ArtifactStore
 from repro.output.config import OutputConfig
+from repro.output.formats import known_formats
 from repro.scheduler import ProgressMonitor, generate
 from repro.update import UpdateBlackBox
 
@@ -208,14 +209,18 @@ def _cmd_extract(args: argparse.Namespace) -> int:
 
 
 def _cmd_preview(args: argparse.Namespace) -> int:
-    engine = _load_engine(args)
-    tables = [args.table] if args.table else list(engine.sizes)
+    from repro.api import Dataset
+    from repro.output.rows import ValueFormatter
+
+    dataset = Dataset.from_engine(_load_engine(args))
+    formatter = ValueFormatter(null_token="NULL")
+    tables = [args.table] if args.table else list(dataset.tables)
     for table in tables:
-        print(f"-- {table} ({engine.sizes[table]} rows)")
-        columns = engine.bound_table(table).column_names
-        print(" | ".join(columns))
-        for row in engine.preview(table, args.rows):
-            print(" | ".join(row))
+        size = dataset.tables[table]
+        print(f"-- {table} ({size} rows)")
+        print(" | ".join(dataset.columns(table)))
+        for row in dataset.slice(table, 0, min(args.rows, size)):
+            print(" | ".join(formatter.format(value) for value in row))
         print()
     return 0
 
@@ -302,6 +307,39 @@ def _cmd_generate(args: argparse.Namespace) -> int:
         return 0
     finally:
         _telemetry_end(args, tracer, registry, profiler, server)
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Serve deterministic slices of a model over loopback HTTP."""
+    from repro.api import Dataset
+    from repro.serve import DataServer
+
+    registry = obs.enable_metrics()  # backs the /metrics endpoint
+    dataset = Dataset.from_engine(
+        _load_engine(args), package_size=args.package_size
+    )
+    server = DataServer(
+        dataset,
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        registry=registry,
+    )
+    server.start()
+    print(f"serving {len(dataset.tables)} tables at {server.url}", file=sys.stderr)
+    print(
+        f"try: curl '{server.url}/table/{next(iter(dataset.tables))}"
+        "/rows/0-10?format=csv'",
+        file=sys.stderr,
+    )
+    try:
+        server.join()
+    except KeyboardInterrupt:
+        print("\nshutting down", file=sys.stderr)
+        server.stop()
+    finally:
+        obs.reset()
+    return 0
 
 
 def _cmd_translate(args: argparse.Namespace) -> int:
@@ -475,7 +513,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     gen.add_argument(
         "--format",
-        choices=("csv", "json", "xml", "sql", "arrow", "parquet"),
+        choices=known_formats(),
         default="csv",
         help="output format; arrow/parquet need the optional pyarrow extra",
     )
@@ -535,6 +573,26 @@ def build_parser() -> argparse.ArgumentParser:
     gen.add_argument("-q", "--quiet", action="store_true")
     _add_telemetry_args(gen)
     gen.set_defaults(func=_cmd_generate)
+
+    serve = commands.add_parser(
+        "serve", help="serve deterministic table slices over HTTP"
+    )
+    _add_model_args(serve)
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=8642,
+        help="listen port (0 binds an ephemeral port; default 8642)",
+    )
+    serve.add_argument(
+        "-w", "--workers", type=int, default=4,
+        help="generation executor threads (default 4)",
+    )
+    serve.add_argument(
+        "--package-size", type=int, default=10_000,
+        help="work-package rows per streamed chunk; fixes binary-format "
+        "framing (default 10000, same as generate)",
+    )
+    serve.set_defaults(func=_cmd_serve)
 
     translate = commands.add_parser("translate", help="print target DDL")
     _add_model_args(translate)

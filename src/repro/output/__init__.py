@@ -1,5 +1,14 @@
-"""Output system: value formatting, row writers, and sinks."""
+"""Output system: the format registry, value formatting, row writers,
+and sinks."""
 
+from repro.output.formats import (
+    FormatSpec,
+    binary_formats,
+    format_package,
+    format_spec,
+    known_formats,
+    register_format,
+)
 from repro.output.rows import ValueFormatter, format_row
 from repro.output.sinks import (
     CallbackSink,
@@ -22,6 +31,12 @@ from repro.output.writers import (
 )
 
 __all__ = [
+    "FormatSpec",
+    "binary_formats",
+    "format_package",
+    "format_spec",
+    "known_formats",
+    "register_format",
     "ValueFormatter",
     "format_row",
     "CallbackSink",

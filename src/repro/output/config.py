@@ -12,6 +12,7 @@ import os
 from dataclasses import dataclass, field
 
 from repro.exceptions import OutputError
+from repro.output.formats import format_spec
 from repro.output.rows import ValueFormatter
 from repro.output.sinks import (
     FileSink,
@@ -21,7 +22,10 @@ from repro.output.sinks import (
     Sink,
     SQLiteSink,
 )
-from repro.output.writers import RowWriter, writer_for
+from repro.output.writers import RowWriter
+
+#: sink families — unlike formats these are a closed set owned here.
+SINK_KINDS = ("file", "gzip", "null", "memory", "sqlite")
 
 
 @dataclass
@@ -52,38 +56,27 @@ class OutputConfig:
     columnar: bool | None = None
     _memory_sinks: dict[str, MemorySink] = field(default_factory=dict, repr=False)
 
-    _EXTENSIONS = {
-        "csv": ".tbl",
-        "json": ".json",
-        "xml": ".xml",
-        "sql": ".sql",
-        "arrow": ".arrow",
-        "parquet": ".parquet",
-    }
-
-    _BINARY_FORMATS = ("arrow", "parquet")
-
     def __post_init__(self) -> None:
-        if self.kind not in ("file", "gzip", "null", "memory", "sqlite"):
-            raise OutputError(f"unknown sink kind {self.kind!r}")
+        if self.kind not in SINK_KINDS:
+            raise OutputError(
+                f"unknown sink kind {self.kind!r}; "
+                f"known kinds: {', '.join(SINK_KINDS)}"
+            )
         if self.kind == "sqlite" and self.format != "sql":
             raise OutputError("sqlite sinks require format='sql'")
-        writer_for(self.format)  # validates the format name early
-        if self.format in self._BINARY_FORMATS:
+        spec = format_spec(self.format)  # the one unknown-format error
+        if spec.binary:
             if self.kind not in ("file", "null", "memory"):
                 raise OutputError(
                     f"format {self.format!r} supports file/null/memory sinks, "
                     f"not kind={self.kind!r}"
                 )
-            from repro.output.arrow import have_pyarrow, require_pyarrow
-
-            if not have_pyarrow():
-                require_pyarrow(f"{self.format} output")  # raises OutputError
-            if self.columnar is False:
-                raise OutputError(
-                    f"format {self.format!r} is columnar-only; "
-                    "columnar=False is not available"
-                )
+            spec.require_available()  # raises OutputError without pyarrow
+        if spec.columnar_only and self.columnar is False:
+            raise OutputError(
+                f"format {self.format!r} is columnar-only; "
+                "columnar=False is not available"
+            )
 
     def new_formatter(self) -> ValueFormatter:
         """A fresh formatter (each worker owns one; caches are not shared)."""
@@ -95,32 +88,21 @@ class OutputConfig:
         )
 
     def new_writer(self, table: str, columns: list[str]) -> RowWriter:
-        cls = writer_for(self.format)
-        if self.format == "csv":
-            return cls(
-                table,
-                columns,
-                self.new_formatter(),
-                delimiter=self.delimiter,
-                include_header=self.include_header,
-            )  # type: ignore[call-arg]
-        if self.format in self._BINARY_FORMATS:
-            mode = "parquet" if self.format == "parquet" else "stream"
-            return cls(table, columns, self.new_formatter(), mode=mode)  # type: ignore[call-arg]
-        return cls(table, columns, self.new_formatter())
+        """A fresh writer for one table, built by the format registry."""
+        return format_spec(self.format).new_writer(self, table, columns)
 
     def use_columnar(self, writer: RowWriter) -> bool:
         """Whether the scheduler should drive *writer* via write_block."""
         if not writer.supports_columns:
             return False
-        if self.format in self._BINARY_FORMATS:
+        if format_spec(self.format).columnar_only:
             return True  # no row-text form exists
         if self.columnar is None:
             return True
         return bool(self.columnar)
 
     def table_path(self, table: str) -> str:
-        extension = self.extension or self._EXTENSIONS.get(self.format, ".out")
+        extension = self.extension or format_spec(self.format).extension
         return os.path.join(self.directory, table + extension)
 
     def new_sink(
@@ -167,7 +149,7 @@ class OutputConfig:
         return FileSink(
             self.table_path(table),
             resume_at=resume_at,
-            binary=self.format in self._BINARY_FORMATS,
+            binary=format_spec(self.format).binary,
         )
 
     def memory_output(self, table: str) -> str:

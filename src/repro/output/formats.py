@@ -1,0 +1,198 @@
+"""The output format registry — the single format → writer + MIME map.
+
+Every consumer of an output format name resolves it here: the CLI's
+``--format`` choices, :class:`~repro.output.config.OutputConfig`
+validation, the writers' lookup, the ``Dataset`` slicing API, and the
+``dbsynth serve`` HTTP responses (which need the MIME type). Before the
+registry existed those call sites each carried their own accepted-format
+list and the lists drifted; now there is exactly one
+:class:`FormatSpec` per format and one :class:`~repro.exceptions.
+OutputError` (listing the valid set) for an unknown name.
+
+A spec records everything format-generic code needs to know:
+
+* ``writer_class()`` — the :class:`~repro.output.writers.RowWriter`
+  subclass, loaded lazily so optional-dependency writers (Arrow) never
+  cost an import for text-format users;
+* ``mime_type`` / ``extension`` — HTTP and file naming;
+* ``binary`` — chunks are ``bytes`` (Arrow IPC framing), not text;
+* ``columnar_only`` — no row-text form exists, so slices must align to
+  work-package boundaries and ``columnar=False`` is refused;
+* ``requires_pyarrow`` — gate on the optional extra with a clear error.
+
+:func:`format_package` lives here too: the one generate+format code
+path for a work package, shared by the scheduler's thread and process
+workers, ``Dataset.slice``, and the serve subsystem — which is what
+makes a served slice byte-identical to the batch run's output.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.exceptions import OutputError
+from repro.obs import span
+from repro.output.writers import (
+    CsvWriter,
+    JsonWriter,
+    RowWriter,
+    SqlWriter,
+    XmlWriter,
+)
+
+
+def _load_arrow_writer() -> type[RowWriter]:
+    from repro.output.arrow import ArrowWriter
+
+    return ArrowWriter
+
+
+def _csv_options(config) -> dict:
+    return {
+        "delimiter": config.delimiter,
+        "include_header": config.include_header,
+    }
+
+
+class FormatSpec:
+    """One registered output format: writer, MIME type, and traits."""
+
+    __slots__ = (
+        "name",
+        "mime_type",
+        "extension",
+        "binary",
+        "columnar_only",
+        "requires_pyarrow",
+        "_loader",
+        "_options",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        mime_type: str,
+        extension: str,
+        loader: Callable[[], type[RowWriter]],
+        *,
+        binary: bool = False,
+        columnar_only: bool = False,
+        requires_pyarrow: bool = False,
+        options: Callable[[object], dict] | None = None,
+    ) -> None:
+        self.name = name
+        self.mime_type = mime_type
+        self.extension = extension
+        self.binary = binary
+        self.columnar_only = columnar_only
+        self.requires_pyarrow = requires_pyarrow
+        self._loader = loader
+        self._options = options
+
+    def writer_class(self) -> type[RowWriter]:
+        """The writer class (imported lazily for optional-dep formats)."""
+        return self._loader()
+
+    def require_available(self) -> None:
+        """Raise :class:`OutputError` when an optional dep is missing."""
+        if self.requires_pyarrow:
+            from repro.output.arrow import require_pyarrow
+
+            require_pyarrow(f"{self.name} output")
+
+    def new_writer(self, config, table: str, columns: list[str]) -> RowWriter:
+        """A fresh writer configured from an :class:`OutputConfig`."""
+        extra = self._options(config) if self._options is not None else {}
+        return self.writer_class()(
+            table, list(columns), config.new_formatter(), **extra
+        )
+
+
+_REGISTRY: dict[str, FormatSpec] = {}
+
+
+def register_format(spec: FormatSpec) -> FormatSpec:
+    """Add a format to the registry (idempotent per name)."""
+    if spec.name in _REGISTRY:
+        raise OutputError(f"output format {spec.name!r} already registered")
+    _REGISTRY[spec.name] = spec
+    return spec
+
+
+def format_spec(name: str) -> FormatSpec:
+    """Resolve a format name, or raise the one canonical unknown-format
+    error (it spells out the valid set)."""
+    try:
+        return _REGISTRY[str(name).lower()]
+    except KeyError:
+        raise OutputError(
+            f"unknown output format {name!r}; "
+            f"known formats: {', '.join(known_formats())}"
+        ) from None
+
+
+def known_formats() -> tuple[str, ...]:
+    """Every registered format name, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def binary_formats() -> tuple[str, ...]:
+    """The registered formats whose chunks are ``bytes``."""
+    return tuple(sorted(name for name, s in _REGISTRY.items() if s.binary))
+
+
+register_format(FormatSpec(
+    "csv", "text/csv; charset=utf-8", ".tbl",
+    lambda: CsvWriter, options=_csv_options,
+))
+register_format(FormatSpec(
+    "json", "application/x-ndjson", ".json", lambda: JsonWriter,
+))
+register_format(FormatSpec(
+    "xml", "application/xml; charset=utf-8", ".xml", lambda: XmlWriter,
+))
+register_format(FormatSpec(
+    "sql", "application/sql; charset=utf-8", ".sql", lambda: SqlWriter,
+))
+register_format(FormatSpec(
+    "arrow", "application/vnd.apache.arrow.stream", ".arrow",
+    _load_arrow_writer, binary=True, columnar_only=True,
+    requires_pyarrow=True, options=lambda config: {"mode": "stream"},
+))
+register_format(FormatSpec(
+    "parquet", "application/vnd.apache.parquet", ".parquet",
+    _load_arrow_writer, binary=True, columnar_only=True,
+    requires_pyarrow=True, options=lambda config: {"mode": "parquet"},
+))
+
+
+def format_package(engine, output, package, *, first: bool | None = None):
+    """Generate and format one work package — the shared worker body.
+
+    The scheduler's thread workers, its process workers,
+    ``Dataset.slice``, and the serve subsystem all produce chunks
+    through this one path, so the same ``(model, output config,
+    package)`` triple yields the same bytes wherever it is computed.
+    ``first`` defaults to ``package.sequence == 0`` — binary writers
+    emit stream framing (the Arrow schema message) exactly once, in the
+    first package's chunk.
+
+    Returns ``(chunk, writer)``; callers read formatter cache stats and
+    header/footer text off the writer.
+    """
+    if first is None:
+        first = package.sequence == 0
+    bound = engine.bound_table(package.table)
+    writer = output.new_writer(package.table, bound.column_names)
+    ctx = engine.new_context(package.table)
+    if output.use_columnar(writer):
+        with span("package.generate", table=package.table):
+            block = bound.generate_columns(package.start, package.stop, ctx)
+        with span("package.format", table=package.table):
+            chunk = writer.write_block(block, first=first)
+    else:
+        with span("package.generate", table=package.table):
+            rows = bound.generate_rows(package.start, package.stop, ctx)
+        with span("package.format", table=package.table):
+            chunk = writer.write_rows(rows)
+    return chunk, writer

@@ -227,29 +227,13 @@ class SqlWriter(RowWriter):
         )
 
 
-_WRITERS: dict[str, type[RowWriter]] = {
-    "csv": CsvWriter,
-    "json": JsonWriter,
-    "xml": XmlWriter,
-    "sql": SqlWriter,
-}
-
-#: binary columnar formats, both served by ArrowWriter (imported lazily
-#: so the pyarrow-free install never pays the module import)
-BINARY_FORMATS = ("arrow", "parquet")
-
-
 def writer_for(format_name: str) -> type[RowWriter]:
-    """Look up a writer class by its format name."""
-    name = format_name.lower()
-    if name in BINARY_FORMATS:
-        from repro.output.arrow import ArrowWriter
+    """Look up a writer class by its format name.
 
-        return ArrowWriter
-    try:
-        return _WRITERS[name]
-    except KeyError:
-        known = sorted(list(_WRITERS) + list(BINARY_FORMATS))
-        raise OutputError(
-            f"unknown output format {format_name!r}; known: {', '.join(known)}"
-        ) from None
+    Thin alias over the format registry
+    (:func:`repro.output.formats.format_spec`) — the registry is the
+    single source of truth for accepted format names.
+    """
+    from repro.output.formats import format_spec
+
+    return format_spec(format_name).writer_class()

@@ -19,6 +19,7 @@ from repro.resilience.checkpoint import (
     TableState,
     chunk_digest,
     model_fingerprint,
+    schema_fingerprint,
 )
 from repro.resilience.faults import (
     CrashingSink,
@@ -37,6 +38,7 @@ __all__ = [
     "TableState",
     "chunk_digest",
     "model_fingerprint",
+    "schema_fingerprint",
     "CrashingSink",
     "FaultInjectingOutput",
     "FaultPlan",

@@ -52,6 +52,37 @@ def _spec_description(spec) -> dict:
     }
 
 
+def schema_fingerprint(schema, update: int = 0) -> str:
+    """SHA-256 over everything that determines generated *values*.
+
+    The model-identity half of :func:`model_fingerprint`: seed, update
+    epoch, per-table resolved sizes, field names, types, and generator
+    spec trees — but no output options or partitioning, which only
+    affect encoding. Two engines with equal schema fingerprints generate
+    identical cell values, which is what lets the ``Dataset`` facade
+    cache bound engines by this key.
+    """
+    description = {
+        "version": MANIFEST_VERSION,
+        "seed": schema.seed,
+        "rng": schema.rng,
+        "update": update,
+        "tables": [
+            {
+                "name": table.name,
+                "rows": schema.table_size(table.name),
+                "fields": [
+                    [f.name, str(f.dtype), _spec_description(f.generator)]
+                    for f in table.fields
+                ],
+            }
+            for table in schema.tables
+        ],
+    }
+    canonical = json.dumps(description, sort_keys=True, default=repr)
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
 def model_fingerprint(
     engine,
     output,

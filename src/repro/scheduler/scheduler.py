@@ -46,7 +46,6 @@ import os
 import threading
 import time
 import traceback
-import warnings
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from queue import Empty
@@ -64,6 +63,7 @@ from repro.obs import (
     throughput_mb_per_s,
 )
 from repro.output.config import OutputConfig
+from repro.output.formats import format_package
 from repro.output.sinks import InFlightWindow, OrderedSinkMux, Sink
 from repro.resilience.checkpoint import (
     CheckpointWriter,
@@ -87,44 +87,6 @@ _VALUE_LATENCY_BUCKETS_NS = (
 DEFAULT_INFLIGHT_EXTRA = 2
 
 BACKENDS = ("thread", "process")
-
-#: sentinel distinguishing "not passed" from explicit values in the
-#: keyword-only configuration surface (needed by the deprecation shim).
-_UNSET = object()
-
-
-def _apply_legacy_positionals(
-    func_name: str,
-    legacy: tuple,
-    config: dict[str, object],
-) -> None:
-    """Map deprecated positional configuration onto keyword slots.
-
-    ``config`` holds the keyword-only arguments (``_UNSET`` when not
-    passed) in the old positional order. Extra positionals raise
-    ``TypeError`` like a normal signature would; a positional value plus
-    the same keyword is the usual "multiple values" error.
-    """
-    if not legacy:
-        return
-    names = tuple(config)
-    if len(legacy) > len(names):
-        raise TypeError(
-            f"{func_name}() takes at most {len(names)} configuration "
-            f"arguments ({len(legacy)} given)"
-        )
-    warnings.warn(
-        f"passing {func_name} configuration positionally is deprecated; "
-        f"use keyword arguments ({', '.join(names)})",
-        DeprecationWarning,
-        stacklevel=3,
-    )
-    for name, value in zip(names, legacy):
-        if config[name] is not _UNSET:
-            raise TypeError(
-                f"{func_name}() got multiple values for argument {name!r}"
-            )
-        config[name] = value
 
 
 @dataclass(frozen=True)
@@ -333,24 +295,7 @@ def _process_worker_main(
                 sequence=package.sequence, rows=package.rows,
                 attempt=span_ctx.attempt if span_ctx is not None else 1,
             ) as package_span:
-                bound = engine.bound_table(package.table)
-                writer = output.new_writer(package.table, bound.column_names)
-                ctx = engine.new_context(package.table)
-                columnar_path = output.use_columnar(writer)
-                with span("package.generate", table=package.table):
-                    if columnar_path:
-                        block = bound.generate_columns(
-                            package.start, package.stop, ctx
-                        )
-                    else:
-                        rows = bound.generate_rows(package.start, package.stop, ctx)
-                with span("package.format", table=package.table):
-                    if columnar_path:
-                        chunk = writer.write_block(
-                            block, first=package.sequence == 0
-                        )
-                    else:
-                        chunk = writer.write_rows(rows)
+                chunk, writer = format_package(engine, output, package)
                 package_span.set(bytes=len(chunk))
             elapsed = time.perf_counter() - started
             formatter = writer.formatter
@@ -419,42 +364,18 @@ class Scheduler:
         self,
         engine: GenerationEngine,
         output: OutputConfig,
-        *legacy,
-        workers: int = _UNSET,  # type: ignore[assignment]
-        package_size: int = _UNSET,  # type: ignore[assignment]
-        progress: ProgressMonitor | None = _UNSET,  # type: ignore[assignment]
-        backend: str = _UNSET,  # type: ignore[assignment]
-        inflight_extra: int = _UNSET,  # type: ignore[assignment]
+        *,
+        workers: int = 1,
+        package_size: int = DEFAULT_PACKAGE_SIZE,
+        progress: ProgressMonitor | None = None,
+        backend: str = "thread",
+        inflight_extra: int = DEFAULT_INFLIGHT_EXTRA,
         checkpoint: str | None = None,
         resume_from: str | None = None,
         retry: RetryPolicy | None = None,
         faults: FaultPlan | None = None,
     ) -> None:
         from repro.exceptions import SchedulingError
-
-        # Configuration is keyword-only; the *legacy capture accepts the
-        # pre-1.1 positional order once more, with a DeprecationWarning.
-        # Resilience options (checkpoint/resume_from/retry/faults) were
-        # never positional and take no part in the shim.
-        config: dict[str, object] = {
-            "workers": workers,
-            "package_size": package_size,
-            "progress": progress,
-            "backend": backend,
-            "inflight_extra": inflight_extra,
-        }
-        _apply_legacy_positionals("Scheduler", legacy, config)
-        workers = 1 if config["workers"] is _UNSET else config["workers"]
-        package_size = (
-            DEFAULT_PACKAGE_SIZE if config["package_size"] is _UNSET
-            else config["package_size"]
-        )
-        progress = None if config["progress"] is _UNSET else config["progress"]
-        backend = "thread" if config["backend"] is _UNSET else config["backend"]
-        inflight_extra = (
-            DEFAULT_INFLIGHT_EXTRA if config["inflight_extra"] is _UNSET
-            else config["inflight_extra"]
-        )
 
         if workers < 1:
             raise SchedulingError(f"workers must be >= 1, got {workers}")
@@ -897,20 +818,7 @@ class Scheduler:
         started = time.perf_counter()
         with span("scheduler.package", parent_span_id, table=package.table,
                   sequence=package.sequence, rows=package.rows) as package_span:
-            bound = engine.bound_table(package.table)
-            writer = self.output.new_writer(package.table, bound.column_names)
-            ctx = engine.new_context(package.table)
-            columnar_path = self.output.use_columnar(writer)
-            with span("package.generate", table=package.table):
-                if columnar_path:
-                    block = bound.generate_columns(package.start, package.stop, ctx)
-                else:
-                    rows = bound.generate_rows(package.start, package.stop, ctx)
-            with span("package.format", table=package.table):
-                if columnar_path:
-                    chunk = writer.write_block(block, first=package.sequence == 0)
-                else:
-                    chunk = writer.write_rows(rows)
+            chunk, writer = format_package(engine, self.output, package)
             package_span.set(bytes=len(chunk))
             mux.submit(package.sequence, chunk)
         elapsed = time.perf_counter() - started
@@ -923,7 +831,7 @@ class Scheduler:
             instruments.record_package(
                 package.rows, len(chunk), elapsed,
                 formatter.cache_hits, formatter.cache_misses,
-                len(bound.column_names),
+                len(writer.columns),
             )
         if self.progress is not None:
             self.progress.add(package.table, package.rows, len(chunk))
@@ -1182,41 +1090,25 @@ class Scheduler:
 def generate(
     engine: GenerationEngine,
     output: OutputConfig | None = None,
-    *legacy,
-    workers: int = _UNSET,  # type: ignore[assignment]
-    package_size: int = _UNSET,  # type: ignore[assignment]
-    tables: list[str] | None = _UNSET,  # type: ignore[assignment]
-    progress: ProgressMonitor | None = _UNSET,  # type: ignore[assignment]
-    backend: str = _UNSET,  # type: ignore[assignment]
-    inflight_extra: int = _UNSET,  # type: ignore[assignment]
+    *,
+    workers: int = 1,
+    package_size: int = DEFAULT_PACKAGE_SIZE,
+    tables: list[str] | None = None,
+    progress: ProgressMonitor | None = None,
+    backend: str = "thread",
+    inflight_extra: int = DEFAULT_INFLIGHT_EXTRA,
     checkpoint: str | None = None,
     resume_from: str | None = None,
     retry: RetryPolicy | None = None,
 ) -> RunReport:
     """One-call generation entry point (the public API convenience).
 
-    Configuration is keyword-only; the pre-1.1 positional order is still
-    accepted with a :class:`DeprecationWarning`. The resilience options
-    (``checkpoint``, ``resume_from``, ``retry``) were never positional
-    and pass straight through to :class:`Scheduler`.
+    Configuration is keyword-only since 2.0 — the 1.x positional shim
+    finished its deprecation cycle and was removed.
     """
-    config: dict[str, object] = {
-        "workers": workers,
-        "package_size": package_size,
-        "tables": tables,
-        "progress": progress,
-        "backend": backend,
-        "inflight_extra": inflight_extra,
-    }
-    _apply_legacy_positionals("generate", legacy, config)
-    tables = None if config["tables"] is _UNSET else config["tables"]
-    scheduler_kwargs = {
-        name: value
-        for name, value in config.items()
-        if name != "tables" and value is not _UNSET
-    }
     return Scheduler(
         engine, output or OutputConfig(),
+        workers=workers, package_size=package_size, progress=progress,
+        backend=backend, inflight_extra=inflight_extra,
         checkpoint=checkpoint, resume_from=resume_from, retry=retry,
-        **scheduler_kwargs,
     ).run(tables)

@@ -1,0 +1,14 @@
+"""Data-as-a-service: the ``dbsynth serve`` HTTP subsystem.
+
+PDGF's determinism makes a data set addressable, not just writable —
+any row range of any table is a pure function of the model. This
+package serves that function over HTTP: :class:`DataServer` streams
+slices through the same work-package partitioning and the same
+format-registry encoding path as batch generation, so a ``curl`` of
+``/table/<name>/rows/<start>-<stop>`` is byte-identical to the matching
+range of a ``dbsynth generate`` output file.
+"""
+
+from repro.serve.server import DataServer
+
+__all__ = ["DataServer"]

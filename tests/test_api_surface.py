@@ -1,0 +1,89 @@
+"""The 2.0 public API surface.
+
+2.0 finishes the 1.1 deprecation cycle: scheduler configuration is
+keyword-only (the positional shim is gone — positionals now raise
+``TypeError``), ``repro.metrics`` no longer exists (timing helpers live
+in ``repro.obs``), and the ``Dataset`` facade plus the format registry
+are promoted to the top-level package.
+"""
+
+from __future__ import annotations
+
+import importlib
+import sys
+
+import pytest
+
+import repro
+from repro.engine import GenerationEngine
+from repro.output.config import OutputConfig
+from repro.scheduler import Scheduler, generate
+
+from tests.conftest import demo_schema
+
+
+@pytest.fixture
+def engine() -> GenerationEngine:
+    return GenerationEngine(demo_schema())
+
+
+class TestSchedulerKeywordOnly:
+    def test_positional_config_raises(self, engine):
+        with pytest.raises(TypeError):
+            Scheduler(engine, OutputConfig(kind="null"), 2, 50)
+
+    def test_keyword_form_works(self, engine):
+        scheduler = Scheduler(
+            engine, OutputConfig(kind="null"), workers=2, package_size=50,
+            backend="thread", inflight_extra=3,
+        )
+        assert scheduler.workers == 2
+        report = scheduler.run()
+        assert report.rows == engine.total_rows()
+
+    def test_generate_positional_config_raises(self, engine):
+        with pytest.raises(TypeError):
+            generate(engine, OutputConfig(kind="null"), 2, 50)
+
+    def test_generate_keyword_form_works(self, engine):
+        report = generate(
+            engine, OutputConfig(kind="null"), workers=1, tables=["customer"]
+        )
+        assert report.rows == engine.sizes["customer"]
+
+
+class TestMetricsModuleRemoved:
+    def test_import_fails(self):
+        sys.modules.pop("repro.metrics", None)
+        with pytest.raises(ModuleNotFoundError):
+            importlib.import_module("repro.metrics")
+
+    def test_timing_helpers_live_in_obs(self):
+        from repro.obs import Timer, per_value_latency, throughput_mb_per_s
+
+        assert callable(throughput_mb_per_s)
+        assert callable(per_value_latency)
+        assert Timer is not None
+
+
+class TestTopLevelSurface:
+    def test_version_is_2(self):
+        assert repro.__version__.startswith("2.")
+
+    def test_dataset_promoted(self):
+        for name in (
+            "Dataset",
+            "bound_engine",
+            "engine_cache_info",
+            "clear_engine_cache",
+        ):
+            assert name in repro.__all__
+            assert getattr(repro, name) is not None
+
+    def test_format_registry_promoted(self):
+        for name in ("FormatSpec", "format_spec", "known_formats", "register_format"):
+            assert name in repro.__all__
+        assert set(repro.known_formats()) >= {"csv", "json", "xml", "sql", "arrow"}
+
+    def test_quickstart_mentions_dataset(self):
+        assert "Dataset" in repro.__doc__

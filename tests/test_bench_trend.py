@@ -149,6 +149,8 @@ class TestMainGateLoop:
             "process_mb_per_s": 20.0,
             "batch_ns_per_value": 100.0,
             "columnar_mb_per_s": 30.0,
+            "serve_rps": 40.0,
+            "serve_p99_ms": 250.0,
         }
         monkeypatch.setattr(
             bench_trend, "run_measurements", lambda smoke: dict(self.measured)

@@ -18,6 +18,7 @@ import pytest
 from repro.engine import GenerationEngine
 from repro.exceptions import OutputError, SchedulingError, TransientError
 from repro.output.config import OutputConfig
+from repro.output.formats import format_spec
 from repro.output.sinks import MemorySink, OrderedSinkMux
 from repro.resilience import (
     MANIFEST_NAME,
@@ -47,7 +48,7 @@ def _file_config(directory, fmt: str = "csv", header: bool = True) -> OutputConf
 
 
 def _read_tables(directory, fmt: str = "csv") -> dict[str, bytes]:
-    ext = OutputConfig._EXTENSIONS[fmt]
+    ext = format_spec(fmt).extension
     return {
         t: (directory / f"{t}{ext}").read_bytes() for t in TABLES
     }
