@@ -87,6 +87,26 @@ def main() -> None:
         print(f"    {key:<18} virtual {value:15.2f}")
     assert exact["COUNT(*)"] == actual[0], "virtual == SQL, exactly"
     print("    virtual COUNT matches the SQL result exactly")
+
+    print("\n== 5. a full timestamped workload, replayed ==")
+    from repro.workload import ArrivalSpec, WorkloadReplayer, WorkloadStream
+    from repro.suites.tpch.workload import tpch_workload_spec
+
+    spec = tpch_workload_spec(
+        count=20, repetition=0.3,
+        arrival=ArrivalSpec(process="poisson", rate=40.0),
+    )
+    stream = WorkloadStream(schema, spec, artifacts)
+    events = stream.events()
+    assert events == stream.events(0, 10) + stream.events(10), \
+        "slices compose to the whole stream"
+    for event in events[:3]:
+        print(f"  t={event.ts:7.3f}s {event.template}#{event.index}")
+    replayer = WorkloadReplayer(schema, target, artifacts)
+    report = replayer.replay(events, checks=spec.checks)
+    for line in report.summary_lines():
+        print(f"  {line}")
+    assert report.ok
     target.close()
 
 

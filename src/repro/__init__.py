@@ -80,7 +80,7 @@ from repro.scheduler import (
 )
 from repro.scheduler.work import DEFAULT_PACKAGE_SIZE
 
-__version__ = "2.0.0"
+__version__ = "2.1.0"
 
 __all__ = [
     "Dataset",

@@ -363,21 +363,101 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     return 0 if report.passed else 1
 
 
+def _workload_spec(args: argparse.Namespace, engine: GenerationEngine):
+    """The stream spec for the loaded model: TPC-H preset or auto-derived."""
+    from repro.workload import ArrivalSpec, auto_spec
+
+    arrival = ArrivalSpec(
+        process=args.arrival, rate=args.rate,
+        period=args.period, amplitude=args.amplitude,
+    )
+    if args.suite == "tpch":
+        from repro.suites.tpch.workload import tpch_workload_spec
+
+        return tpch_workload_spec(
+            count=args.queries, repetition=args.repetition, arrival=arrival
+        )
+    return auto_spec(
+        engine.schema, engine.artifacts,
+        count=args.queries, repetition=args.repetition, arrival=arrival,
+    )
+
+
 def _cmd_workload(args: argparse.Namespace) -> int:
-    """Run the TPC-H query workload through the benchmark driver."""
+    """Synthesize, dump, or replay a deterministic query workload.
+
+    Without ``--dump``/``--replay`` this runs the classic template +
+    predicted-query pass (the pre-2.1 behavior). ``--dump`` writes the
+    scheduled stream as JSONL (byte-reproducible for a given model seed);
+    ``--replay`` executes a stream against ``--database``, pacing by the
+    seed-derived arrival timestamps compressed by ``--max-speedup``.
+    """
     from repro.core.driver import BenchmarkDriver
-    from repro.suites.tpch.workload import DEFAULT_TEMPLATES, PREDICTED_QUERIES
+    from repro.workload import (
+        CdcInterleave,
+        WorkloadReplayer,
+        WorkloadStream,
+        read_jsonl,
+    )
 
     engine = _load_engine(args)
-    if args.suite and args.suite != "tpch":
-        raise ReproError("the built-in workload currently targets --suite tpch")
-    with SQLiteAdapter(args.database) as target:
-        driver = BenchmarkDriver(engine.schema, target, engine.artifacts)
-        templates = [(t, args.count) for t, _default in DEFAULT_TEMPLATES]
-        report = driver.run_workload(templates, PREDICTED_QUERIES)
-    for line in report.summary_lines():
-        print(line)
-    return 0 if report.failed == 0 else 1
+    if not args.dump and not args.replay:
+        if args.suite and args.suite != "tpch":
+            raise ReproError(
+                "the built-in driver pass targets --suite tpch; use "
+                "--dump/--replay for synthesized streams over any model"
+            )
+        if not args.database:
+            raise ReproError("--database is required to run a workload")
+        from repro.suites.tpch.workload import DEFAULT_TEMPLATES, PREDICTED_QUERIES
+
+        with SQLiteAdapter(args.database) as target:
+            driver = BenchmarkDriver(engine.schema, target, engine.artifacts)
+            templates = [(t, args.count) for t, _default in DEFAULT_TEMPLATES]
+            report = driver.run_workload(templates, PREDICTED_QUERIES)
+        for line in report.summary_lines():
+            print(line)
+        return 0 if report.failed == 0 else 1
+
+    spec = _workload_spec(args, engine)
+    stream = WorkloadStream(engine.schema, spec, engine.artifacts)
+    if args.dump:
+        if args.dump == "-":
+            count = stream.dump_jsonl(sys.stdout)
+        else:
+            with open(args.dump, "w", encoding="utf-8", newline="\n") as handle:
+                count = stream.dump_jsonl(handle)
+        print(f"dumped {count} scheduled queries", file=sys.stderr)
+        if not args.replay:
+            return 0
+
+    if not args.database:
+        raise ReproError("--replay requires --database")
+    if args.stream:
+        with open(args.stream, encoding="utf-8") as handle:
+            events = read_jsonl(handle)
+    else:
+        events = stream.events()
+
+    tracer, registry, profiler, server = _telemetry_begin(args)
+    try:
+        with SQLiteAdapter(args.database) as target:
+            cdc = None
+            if args.cdc_epochs:
+                cdc = CdcInterleave(
+                    UpdateBlackBox(engine.schema, engine.artifacts),
+                    epochs=args.cdc_epochs,
+                )
+            replayer = WorkloadReplayer(
+                engine.schema, target, engine.artifacts,
+                max_speedup=args.max_speedup,
+            )
+            report = replayer.replay(events, checks=spec.checks, cdc=cdc)
+        for line in report.summary_lines():
+            print(line)
+        return 0 if report.ok else 1
+    finally:
+        _telemetry_end(args, tracer, registry, profiler, server)
 
 
 def _cmd_stats(args: argparse.Namespace) -> int:
@@ -608,13 +688,64 @@ def build_parser() -> argparse.ArgumentParser:
     verify.set_defaults(func=_cmd_verify)
 
     workload = commands.add_parser(
-        "workload", help="run a deterministic query workload with predictions"
+        "workload",
+        help="synthesize, dump, or replay a deterministic query workload",
     )
     _add_model_args(workload)
-    workload.add_argument("--database", required=True,
+    workload.add_argument("--database",
                           help="target SQLite database to query")
     workload.add_argument("--count", type=int, default=2,
-                          help="instances per query template")
+                          help="instances per query template (classic driver pass)")
+    workload.add_argument(
+        "--queries", type=int, default=50, metavar="N",
+        help="scheduled queries in a synthesized stream (default 50)",
+    )
+    workload.add_argument(
+        "--arrival", choices=("steady", "poisson", "diurnal"), default="steady",
+        help="arrival process of the stream's seed-derived timestamps",
+    )
+    workload.add_argument(
+        "--rate", type=float, default=10.0,
+        help="mean arrival rate, queries per second of workload time",
+    )
+    workload.add_argument(
+        "--period", type=float, default=60.0,
+        help="diurnal cycle length in seconds (diurnal arrivals only)",
+    )
+    workload.add_argument(
+        "--amplitude", type=float, default=0.8,
+        help="diurnal rate swing in [0, 1) (diurnal arrivals only)",
+    )
+    workload.add_argument(
+        "--repetition", type=float, default=0.3, metavar="F",
+        help="fraction of the stream drawn from the repeated query pool",
+    )
+    workload.add_argument(
+        "--dump", metavar="FILE",
+        help="write the scheduled stream as JSONL "
+        "({ts, template, index, sql}; '-' for stdout)",
+    )
+    workload.add_argument(
+        "--replay", action="store_true",
+        help="execute the stream against --database, honoring arrival "
+        "timestamps; exit code reflects failures and prediction misses",
+    )
+    workload.add_argument(
+        "--stream", metavar="FILE",
+        help="replay a previously dumped JSONL stream instead of "
+        "synthesizing one",
+    )
+    workload.add_argument(
+        "--max-speedup", type=float, default=1.0, metavar="S",
+        help="compress workload time by this factor during replay "
+        "(1 = real time, 0 = as fast as the database answers)",
+    )
+    workload.add_argument(
+        "--cdc-epochs", type=int, default=0, metavar="N",
+        help="weave N update-black-box epochs into the replay at evenly "
+        "spaced stream boundaries (queries run against changing data)",
+    )
+    _add_telemetry_args(workload)
     workload.set_defaults(func=_cmd_workload)
 
     stats = commands.add_parser(

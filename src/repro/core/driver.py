@@ -110,7 +110,12 @@ class BenchmarkDriver:
 
     # -- execution ---------------------------------------------------------------
 
-    def _run_sql(self, name: str, sql: str) -> QueryExecution:
+    def run_sql(self, name: str, sql: str) -> QueryExecution:
+        """Time one SQL text against the target (errors become results).
+
+        The building block the workload replayer drives: no prediction
+        grading, just faithful timing and row counting.
+        """
         start = time.perf_counter()
         try:
             rows = self.adapter.execute(sql)
@@ -124,6 +129,9 @@ class BenchmarkDriver:
             first_row=tuple(rows[0]) if rows else None,
         )
 
+    # Pre-2.1 name, kept for callers that reached into the underscore API.
+    _run_sql = run_sql
+
     def run_template(
         self, template: QueryTemplate, count: int = 1
     ) -> list[QueryExecution]:
@@ -131,12 +139,12 @@ class BenchmarkDriver:
         executions = []
         for index in range(count):
             sql = self._parameters.instantiate(template, index)
-            executions.append(self._run_sql(f"{template.name}#{index}", sql))
+            executions.append(self.run_sql(f"{template.name}#{index}", sql))
         return executions
 
     def run_query(self, name: str, query: Query) -> QueryExecution:
         """Run a structured query and grade it against the model."""
-        execution = self._run_sql(name, query.to_sql())
+        execution = self.run_sql(name, query.to_sql())
         if not execution.succeeded or execution.first_row is None:
             return execution
         try:
@@ -145,6 +153,9 @@ class BenchmarkDriver:
             return execution  # not predictable; timing-only result
         execution.predictions = predictions
         execution.prediction_ok = True
+        # predict() yields one entry per aggregate in SELECT-list order
+        # (duplicate renderings disambiguated), so grading is positional:
+        # prediction i is compared against result column i.
         for predicted, actual in zip(predictions.values(), execution.first_row):
             if actual is None:
                 continue

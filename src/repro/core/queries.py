@@ -71,7 +71,7 @@ class Predicate:
         if self.op is Op.BETWEEN:
             return f"{column} BETWEEN {_sql_literal(self.value)} AND {_sql_literal(self.value2)}"
         if self.op is Op.IN:
-            rendered = ", ".join(_sql_literal(v) for v in self.value)  # type: ignore[union-attr]
+            rendered = ", ".join(_sql_literal(v) for v in _in_values(self))
             return f"{column} IN ({rendered})"
         return f"{column} {self.op.value} {_sql_literal(self.value)}"
 
@@ -104,6 +104,24 @@ class Query:
         if self.predicates:
             sql += " WHERE " + " AND ".join(p.to_sql() for p in self.predicates)
         return sql
+
+
+def _aggregate_keys(aggregates: list[Aggregate]) -> list[str]:
+    """One result key per aggregate, in SELECT-list order.
+
+    Two aggregates can render identical SQL (``COUNT(*)`` twice); a dict
+    keyed by the rendering alone would collapse them and misalign every
+    later column against the result row. Duplicates get a ``#n`` suffix
+    so predictions and results stay positional.
+    """
+    keys: list[str] = []
+    seen: dict[str, int] = {}
+    for aggregate in aggregates:
+        key = aggregate.to_sql()
+        n = seen.get(key, 0)
+        seen[key] = n + 1
+        keys.append(key if n == 0 else f"{key}#{n + 1}")
+    return keys
 
 
 def _sql_literal(value: object) -> str:
@@ -392,7 +410,12 @@ class VirtualExecutor:
         return (low + high) / 2.0
 
     def predict(self, query: Query) -> dict[str, PredictedValue]:
-        """Closed-form expectations for the query's aggregates."""
+        """Closed-form expectations for the query's aggregates.
+
+        The result holds exactly one entry per aggregate, in SELECT-list
+        order (duplicate renderings are suffixed, see
+        :func:`_aggregate_keys`), so iterating its values is positional.
+        """
         size = self.schema.table_size(query.table)
         selectivity = 1.0
         for predicate in query.predicates:
@@ -409,8 +432,7 @@ class VirtualExecutor:
         count_tolerance = min(max(count_tolerance, 0.02), 1.0)
 
         out: dict[str, PredictedValue] = {}
-        for aggregate in query.aggregates:
-            key = aggregate.to_sql()
+        for aggregate, key in zip(query.aggregates, _aggregate_keys(query.aggregates)):
             if aggregate.func == "count":
                 out[key] = PredictedValue(expected_rows, count_tolerance)
                 continue
@@ -478,8 +500,7 @@ class VirtualExecutor:
                 maxs[column] = max(maxs.get(column, number), number)
 
         out: dict[str, float | None] = {}
-        for aggregate in query.aggregates:
-            key = aggregate.to_sql()
+        for aggregate, key in zip(query.aggregates, _aggregate_keys(query.aggregates)):
             if aggregate.func == "count":
                 out[key] = count
             elif aggregate.func == "sum":
@@ -512,6 +533,22 @@ def _as_number(value: object) -> float:
     raise GenerationError(f"non-numeric value {value!r} in aggregate")
 
 
+def _in_values(predicate: Predicate) -> tuple:
+    """The value collection of an IN predicate.
+
+    A plain string is rejected: treating it as a sequence would turn
+    membership into substring/character containment (``"EAST" in
+    "NORTHEAST"`` is true), which is never the intended SQL semantics.
+    """
+    values = predicate.value
+    if isinstance(values, (str, bytes)) or not hasattr(values, "__iter__"):
+        raise GenerationError(
+            f"IN predicate on {predicate.column!r} requires a collection "
+            f"of values, got {type(values).__name__}"
+        )
+    return tuple(values)
+
+
 def _matches(value: object, predicate: Predicate) -> bool:
     if predicate.op is Op.IS_NULL:
         return value is None
@@ -520,7 +557,11 @@ def _matches(value: object, predicate: Predicate) -> bool:
     if value is None:
         return False
     if predicate.op is Op.IN:
-        return value in predicate.value or str(value) in predicate.value  # type: ignore[operator]
+        # Elementwise comparison with EQ semantics per element.
+        return any(
+            _matches(value, Predicate(predicate.column, Op.EQ, candidate))
+            for candidate in _in_values(predicate)
+        )
     if isinstance(predicate.value, str) or isinstance(value, str):
         left, right = str(value), str(predicate.value)
         right2 = str(predicate.value2) if predicate.value2 is not None else None
@@ -549,11 +590,16 @@ def _matches(value: object, predicate: Predicate) -> bool:
 def _dictionary_selectivity(
     dictionary: WeightedDictionary, predicate: Predicate
 ) -> float:
-    weights = {entry.value: entry.weight for entry in dictionary.entries}
+    # Sum weights per value: a dictionary may carry the same value in
+    # several entries (merged sources), and the selectivity of EQ/IN is
+    # the total mass of the value, not the last entry's weight.
+    weights: dict[str, float] = {}
+    for entry in dictionary.entries:
+        weights[entry.value] = weights.get(entry.value, 0.0) + entry.weight
     if predicate.op is Op.EQ:
         return weights.get(str(predicate.value), 0.0)
     if predicate.op is Op.IN:
-        return sum(weights.get(str(v), 0.0) for v in predicate.value)  # type: ignore[union-attr]
+        return sum(weights.get(v, 0.0) for v in {str(v) for v in _in_values(predicate)})
     raise GenerationError(
         f"operator {predicate.op} not supported on dictionary columns"
     )
@@ -606,15 +652,11 @@ def _range_selectivity(
             upper = clamp(value2 + half)
         return max((upper - lower) / span, 0.0)
     if predicate.op is Op.IN:
+        distinct = {_as_number(v) for v in _in_values(predicate)}
+        hits = sum(1 for v in distinct if low <= v <= high)
         if integer:
-            hits = sum(
-                1 for v in predicate.value if low <= _as_number(v) <= high  # type: ignore[union-attr]
-            )
             return hits / span
         if rounding_step > 0:
-            hits = sum(
-                1 for v in predicate.value if low <= _as_number(v) <= high  # type: ignore[union-attr]
-            )
             return min(hits * rounding_step / span, 1.0)
         return 0.0
     raise GenerationError(f"unsupported operator {predicate.op} on ranges")

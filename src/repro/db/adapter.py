@@ -112,6 +112,17 @@ class DatabaseAdapter(abc.ABC):
     def execute_script(self, sql: str) -> None:
         """Run one or more statements (DDL, bulk SQL loads)."""
 
+    def execute_dml(self, sql: str, parameters: Sequence[object] = ()) -> int:
+        """Run one UPDATE/DELETE/INSERT statement and return the number
+        of rows it actually affected.
+
+        The default delegates to :meth:`execute` and reports 0 affected
+        rows; adapters whose driver exposes a row count (all practical
+        ones) must override this so callers can distinguish a change
+        that landed from one that silently matched nothing."""
+        self.execute(sql, parameters)
+        return 0
+
     @abc.abstractmethod
     def insert_rows(
         self, table: str, columns: list[str], rows: Iterable[Sequence[object]]

@@ -187,6 +187,14 @@ class SQLiteAdapter(DatabaseAdapter):
         except sqlite3.Error as exc:
             raise AdapterError(f"script failed: {exc}") from exc
 
+    def execute_dml(self, sql: str, parameters: Sequence[object] = ()) -> int:
+        try:
+            cursor = self._conn.execute(sql, tuple(parameters))
+            self._conn.commit()
+            return max(cursor.rowcount, 0)
+        except sqlite3.Error as exc:
+            raise AdapterError(f"statement failed ({exc}): {sql[:120]}") from exc
+
     def insert_rows(
         self, table: str, columns: list[str], rows: Iterable[Sequence[object]]
     ) -> int:

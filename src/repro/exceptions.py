@@ -63,3 +63,7 @@ class TransientError(OutputError):
 
 class SchedulingError(ReproError):
     """Work could not be partitioned or executed."""
+
+
+class WorkloadError(ReproError):
+    """A query-workload specification is invalid or a replay failed."""

@@ -9,6 +9,8 @@ workload is exactly as repeatable as the data (paper §7).
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from repro.core.queries import (
     Aggregate,
     Op,
@@ -17,6 +19,9 @@ from repro.core.queries import (
     Query,
     QueryTemplate,
 )
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.workload.spec import ArrivalSpec, WorkloadSpec
 
 # Q1-style pricing summary with a parameterized date cut-off.
 PRICING_SUMMARY = QueryTemplate(
@@ -59,6 +64,34 @@ DEFAULT_TEMPLATES: list[tuple[QueryTemplate, int]] = [
     (FORECAST_REVENUE, 3),
     (SHIPPING_PRIORITY, 2),
 ]
+
+def tpch_workload_spec(
+    count: int = 50,
+    repetition: float = 0.3,
+    arrival: ArrivalSpec | None = None,
+    name: str = "tpch",
+) -> WorkloadSpec:
+    """The default TPC-H stream spec for :mod:`repro.workload`.
+
+    Template weights follow the classic emphasis: the cheap Q6-style
+    probe dominates, the two heavier reporting queries share the rest.
+    The spec carries the predicted queries as replay-time checks.
+    """
+    from repro.workload.spec import ArrivalSpec, WeightedTemplate, WorkloadSpec
+
+    return WorkloadSpec(
+        name=name,
+        templates=[
+            WeightedTemplate(FORECAST_REVENUE, 3.0),
+            WeightedTemplate(PRICING_SUMMARY, 1.0),
+            WeightedTemplate(SHIPPING_PRIORITY, 1.0),
+        ],
+        count=count,
+        repetition=repetition,
+        arrival=arrival or ArrivalSpec(),
+        checks=list(PREDICTED_QUERIES),
+    )
+
 
 # Structured queries the virtual executor predicts and grades.
 PREDICTED_QUERIES: list[tuple[str, Query]] = [

@@ -118,12 +118,25 @@ class UpdateBlackBox:
             indices.append(index)
         return indices
 
-    def _choose_rows(self, table: str, epoch: int, kind: str, count: int) -> list[int]:
-        """Deterministic distinct row picks for update/delete batches."""
+    def _choose_rows(
+        self,
+        table: str,
+        epoch: int,
+        kind: str,
+        count: int,
+        exclude: frozenset[int] = frozenset(),
+    ) -> list[int]:
+        """Deterministic distinct row picks for update/delete batches.
+
+        ``exclude`` removes rows from the candidate pool — the update
+        draw passes the epoch's delete set so one epoch never emits an
+        UPDATE for a row it already DELETEd.
+        """
         base_size = self._base.sizes[table]
-        if base_size == 0 or count == 0:
+        available = base_size - len(exclude)
+        if base_size == 0 or count == 0 or available <= 0:
             return []
-        count = min(count, base_size)
+        count = min(count, available)
         kind_tag = 1 if kind == _KIND_UPDATE else 2
         seed = combine64(
             hash_string64(table) ^ self.schema.seed, (epoch << 4) ^ kind_tag
@@ -133,7 +146,9 @@ class UpdateBlackBox:
         # Rejection sampling; count << base_size in realistic use, and the
         # min() above bounds the loop for degenerate configurations.
         while len(chosen) < count:
-            chosen.add(rng.next_long(base_size))
+            row = rng.next_long(base_size)
+            if row not in exclude:
+                chosen.add(row)
         return sorted(chosen)
 
     def epoch_events(self, table: str, epoch: int) -> Iterator[UpdateEvent]:
@@ -146,7 +161,8 @@ class UpdateBlackBox:
         base_bound = self._base.bound_table(table)
         column_names = base_bound.column_names
 
-        for row in self._choose_rows(table, epoch, _KIND_DELETE, plan.deletes):
+        deletes = self._choose_rows(table, epoch, _KIND_DELETE, plan.deletes)
+        for row in deletes:
             yield UpdateEvent(_KIND_DELETE, table, row)
 
         epoch_engine = self._engine_for(epoch)
@@ -154,7 +170,9 @@ class UpdateBlackBox:
         updatable = self._updatable_columns(table)
         update_columns = tuple(column_names[i] for i in updatable)
         ctx = epoch_engine.new_context(table)
-        for row in self._choose_rows(table, epoch, _KIND_UPDATE, plan.updates):
+        for row in self._choose_rows(
+            table, epoch, _KIND_UPDATE, plan.updates, exclude=frozenset(deletes)
+        ):
             values = tuple(
                 epoch_bound.generate_value(column, row, ctx) for column in updatable
             )
@@ -170,27 +188,33 @@ class UpdateBlackBox:
     def apply_epoch(self, adapter, table: str, epoch: int, key_column: str) -> dict:
         """Apply one epoch's batch to a live database via an adapter.
 
-        Returns counters ``{"insert": n, "update": n, "delete": n}``.
+        Returns counters ``{"insert": n, "update": n, "delete": n}`` of
+        rows the database reports as *affected* (adapter rowcount), not
+        of events emitted — an UPDATE or DELETE whose key matches
+        nothing (e.g. a row retired in an earlier epoch) contributes 0,
+        so a silently no-op batch is visible to the caller.
         ``key_column`` must identify rows as ``row + 1`` (an IdGenerator
         key), which holds for DBSynth-built models.
         """
         counts = {_KIND_INSERT: 0, _KIND_UPDATE: 0, _KIND_DELETE: 0}
         for event in self.epoch_events(table, epoch):
             if event.kind == _KIND_DELETE:
-                adapter.execute(
+                affected = adapter.execute_dml(
                     f"DELETE FROM {table} WHERE {key_column} = ?", (event.row + 1,)
                 )
             elif event.kind == _KIND_UPDATE:
                 assert event.columns is not None and event.values is not None
                 assignments = ", ".join(f"{c} = ?" for c in event.columns)
-                adapter.execute(
+                affected = adapter.execute_dml(
                     f"UPDATE {table} SET {assignments} WHERE {key_column} = ?",
                     (*_to_db(event.values), event.row + 1),
                 )
             else:
                 assert event.columns is not None and event.values is not None
-                adapter.insert_rows(table, list(event.columns), [_to_db(event.values)])
-            counts[event.kind] += 1
+                affected = adapter.insert_rows(
+                    table, list(event.columns), [_to_db(event.values)]
+                )
+            counts[event.kind] += affected
         return counts
 
 

@@ -1,0 +1,45 @@
+"""Query-workload synthesis: seeded, timestamped query streams.
+
+The second scenario axis next to data generation (ROADMAP: "generate
+the queries, not just the data"): a :class:`WorkloadSpec` describes a
+weighted template mix, repetition coefficient, and arrival process; a
+:class:`WorkloadStream` turns it into byte-reproducible
+:class:`ScheduledQuery` events; a :class:`WorkloadReplayer` executes
+them against a live database with arrival-time pacing, per-template
+latency histograms in :mod:`repro.obs`, and optional CDC interleaving
+through the update black box.
+"""
+
+from repro.workload.replay import (
+    LATENCY_BUCKETS,
+    CdcInterleave,
+    ReplayReport,
+    TemplateStats,
+    WorkloadReplayer,
+    key_column,
+)
+from repro.workload.spec import (
+    ARRIVAL_PROCESSES,
+    ArrivalSpec,
+    WeightedTemplate,
+    WorkloadSpec,
+    auto_spec,
+)
+from repro.workload.stream import ScheduledQuery, WorkloadStream, read_jsonl
+
+__all__ = [
+    "ARRIVAL_PROCESSES",
+    "LATENCY_BUCKETS",
+    "ArrivalSpec",
+    "CdcInterleave",
+    "ReplayReport",
+    "ScheduledQuery",
+    "TemplateStats",
+    "WeightedTemplate",
+    "WorkloadReplayer",
+    "WorkloadSpec",
+    "WorkloadStream",
+    "auto_spec",
+    "key_column",
+    "read_jsonl",
+]

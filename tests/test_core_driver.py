@@ -68,6 +68,29 @@ class TestRunQuery:
         assert execution.succeeded
         assert execution.prediction_ok is None
 
+    def test_duplicate_aggregates_graded_positionally(self, demo_setup):
+        # Regression: two COUNT(*) entries render identically; keying
+        # predictions by SQL text alone collapsed them, shifting every
+        # later prediction onto the wrong result column (the AVG below
+        # was graded against a COUNT and always failed).
+        schema, adapter = demo_setup
+        driver = BenchmarkDriver(schema, adapter)
+        execution = driver.run_query(
+            "dups",
+            Query("orders", [
+                Aggregate("count"),
+                Aggregate("count"),
+                Aggregate("avg", "o_quantity"),
+            ]),
+        )
+        assert execution.succeeded
+        assert execution.predictions is not None
+        assert list(execution.predictions) == [
+            "COUNT(*)", "COUNT(*)#2", "AVG(o_quantity)",
+        ]
+        assert execution.first_row[0] == execution.first_row[1] == 180
+        assert execution.prediction_ok is True
+
     def test_sql_error_captured_not_raised(self, demo_setup):
         schema, adapter = demo_setup
         driver = BenchmarkDriver(schema, adapter)

@@ -255,3 +255,90 @@ class TestQueryParameterGenerator:
         )
         with pytest.raises(ModelError, match="no dictionary"):
             QueryParameterGenerator(schema).instantiate(template, 0)
+
+
+def duplicate_value_schema() -> Schema:
+    """A dictionary column carrying the same value in several entries."""
+    schema = Schema("dups", seed=77)
+    schema.add_table(Table("t", "1000", [
+        Field.of("d_id", "BIGINT", GeneratorSpec("IdGenerator"), primary=True),
+        Field.of("d_tag", "VARCHAR(8)", GeneratorSpec(
+            "DictListGenerator",
+            {"values": ["HOT", "HOT", "COLD", "WARM"],
+             "weights": [0.3, 0.3, 0.3, 0.1]},
+        )),
+    ]))
+    return schema
+
+
+class TestDictionarySelectivity:
+    """EQ/IN mass must sum over duplicate dictionary entries."""
+
+    def test_eq_sums_duplicate_entries(self):
+        executor = VirtualExecutor(duplicate_value_schema())
+        predicted = executor.predict(Query(
+            "t", [Aggregate("count")], [Predicate("d_tag", Op.EQ, "HOT")]
+        ))
+        assert predicted["COUNT(*)"].value == pytest.approx(600.0)
+
+    def test_in_counts_each_value_once(self):
+        executor = VirtualExecutor(duplicate_value_schema())
+        predicted = executor.predict(Query(
+            "t", [Aggregate("count")],
+            [Predicate("d_tag", Op.IN, ["HOT", "HOT", "COLD"])],
+        ))
+        assert predicted["COUNT(*)"].value == pytest.approx(900.0)
+
+    def test_prediction_matches_loaded_database(self):
+        schema = duplicate_value_schema()
+        with SQLiteAdapter(":memory:") as adapter:
+            SchemaTranslator().apply(schema, adapter)
+            DataLoader(adapter).load(GenerationEngine(schema))
+            actual = adapter.execute(
+                "SELECT COUNT(*) FROM t WHERE d_tag = 'HOT'"
+            )[0][0]
+        predicted = VirtualExecutor(schema).predict(Query(
+            "t", [Aggregate("count")], [Predicate("d_tag", Op.EQ, "HOT")]
+        ))["COUNT(*)"]
+        assert abs(predicted.value - actual) / actual <= 0.12
+
+
+class TestInPredicateSemantics:
+    """IN requires a collection and compares elementwise, never substrings."""
+
+    def test_string_value_rejected_in_exact_path(self, executor):
+        with pytest.raises(GenerationError, match="requires a collection"):
+            executor.execute(Query(
+                "sales", [Aggregate("count")],
+                [Predicate("s_region", Op.IN, "NORTHEAST")],
+            ))
+
+    def test_string_value_rejected_in_prediction(self, executor):
+        with pytest.raises(GenerationError, match="requires a collection"):
+            executor.predict(Query(
+                "sales", [Aggregate("count")],
+                [Predicate("s_region", Op.IN, "NORTH")],
+            ))
+
+    def test_scalar_value_rejected(self, executor):
+        with pytest.raises(GenerationError, match="requires a collection"):
+            executor.execute(Query(
+                "sales", [Aggregate("count")],
+                [Predicate("s_quantity", Op.IN, 5)],
+            ))
+
+    def test_elementwise_numeric_membership(self, executor, database):
+        query = Query("sales", [Aggregate("count")],
+                      [Predicate("s_quantity", Op.IN, [7, 13, 13])])
+        virtual = executor.execute(query)
+        actual = database.execute(query.to_sql())[0][0]
+        assert virtual["COUNT(*)"] == actual
+
+    def test_no_substring_containment(self, executor):
+        # "EAST" is a substring member of "NORTHEAST"; elementwise EQ
+        # semantics must not count it.
+        exact = executor.execute(Query(
+            "sales", [Aggregate("count")],
+            [Predicate("s_region", Op.IN, ["NORTHEAST"])],
+        ))
+        assert exact["COUNT(*)"] == 0

@@ -51,6 +51,26 @@ class TestEvents:
         second = list(blackbox.epoch_events("customer", 1))
         assert first == second
 
+    def test_epoch_identical_across_instances(self):
+        # Two independent black boxes over the same model agree — epochs
+        # are a pure function of (model seed, epoch), not object state.
+        boxes = [
+            UpdateBlackBox(demo_schema(), insert_fraction=0.1,
+                           update_fraction=0.1, delete_fraction=0.05)
+            for _ in range(2)
+        ]
+        for table in ("customer", "orders"):
+            assert list(boxes[0].epoch_events(table, 2)) == list(
+                boxes[1].epoch_events(table, 2)
+            )
+
+    def test_deletes_and_updates_disjoint(self, blackbox):
+        for epoch in (1, 2, 3):
+            events = list(blackbox.epoch_events("customer", epoch))
+            deleted = {e.row for e in events if e.kind == "delete"}
+            updated = {e.row for e in events if e.kind == "update"}
+            assert not deleted & updated
+
     def test_epochs_differ(self, blackbox):
         one = [e for e in blackbox.epoch_events("customer", 1) if e.kind == "update"]
         two = [e for e in blackbox.epoch_events("customer", 2) if e.kind == "update"]
@@ -131,6 +151,17 @@ class TestApplyEpoch:
         after = adapter.row_count("customer")
         assert counts == {"insert": 6, "update": 6, "delete": 3}
         assert after == before + 6 - 3
+        adapter.close()
+
+    def test_counts_are_affected_rows_not_emitted(self, blackbox):
+        # Empty every base row first: deletes and updates find nothing to
+        # touch, so their counts are 0; inserts still land.
+        adapter = SQLiteAdapter(":memory:")
+        schema = demo_schema()
+        adapter.execute_script(create_schema_sql(schema, "sqlite"))
+        counts = blackbox.apply_epoch(adapter, "customer", 1, "c_id")
+        assert counts == {"insert": 6, "update": 0, "delete": 0}
+        assert adapter.row_count("customer") == 6
         adapter.close()
 
     def test_apply_is_idempotent_per_epoch_for_updates(self):
