@@ -16,22 +16,35 @@ well.
 Reproduction targets: cluster throughput grows ~linearly with nodes
 (paper's left panel), per-cluster duration shrinks ~1/nodes (right
 panel), and every node generates a disjoint, exact share of the data.
+
+A third series runs the *distributed* cluster runtime (real node
+processes with control-channel progress and work stealing) so the
+coordination overhead it adds over the pooled simulation is measured,
+not assumed. Run as a script with ``--smoke`` for the CI cluster
+canary: 3-node distributed TPC-H digest-checked against a single-node
+golden run, a kill-one-node resume leg, and a steal-vs-static makespan
+comparison on an induced slow node.
 """
 
 from __future__ import annotations
 
+import hashlib
 import multiprocessing
+import os
+import shutil
+import tempfile
 
 import pytest
 
 from repro.output.config import OutputConfig
-from repro.scheduler import MetaScheduler
+from repro.scheduler import ClusterScheduler, MetaScheduler
 from repro.suites.bigbench import bigbench_artifacts, bigbench_schema
 
 from conftest import bench_sf, record
 
 _CPUS = multiprocessing.cpu_count()
 NODE_COUNTS = [1, 2, 4, 8, 16, 24]
+DISTRIBUTED_NODE_COUNTS = [1, 2, 4]
 
 _simulated: dict[int, float] = {}
 
@@ -101,6 +114,28 @@ def test_scaleout_real_processes(benchmark, schema, nodes):
     assert result.rows == sum(schema.sizes().values())
 
 
+@pytest.mark.parametrize("nodes", DISTRIBUTED_NODE_COUNTS)
+def test_scaleout_distributed_cluster(benchmark, schema, nodes):
+    """The real cluster runtime: independent node processes, control
+    channel, stealing enabled. On a single-core host this measures the
+    coordination overhead, not parallel speedup — the interesting number
+    is how close it stays to the pooled series."""
+    scheduler = ClusterScheduler(
+        schema, bigbench_artifacts(), output=OutputConfig(kind="null")
+    )
+    result = benchmark.pedantic(
+        scheduler.run, args=(nodes,), rounds=2, iterations=1, warmup_rounds=0,
+    )
+    benchmark.extra_info["nodes"] = nodes
+    benchmark.extra_info["steals"] = result.steals
+    record(
+        "Figure 4 (BigBench scale-out): nodes | cluster MB/s | makespan s",
+        (f"{nodes} (distributed)", round(result.mb_per_second, 2),
+         round(result.seconds, 3)),
+    )
+    assert result.rows == sum(schema.sizes().values())
+
+
 def test_scaling_is_near_linear(benchmark):
     """The figure's claim: linear throughput scaling in node count."""
     if len(_simulated) < len(NODE_COUNTS):
@@ -127,3 +162,167 @@ def test_scaling_is_near_linear(benchmark):
         )
 
     benchmark.pedantic(check, rounds=1, iterations=1)
+
+
+# -- script mode: CI cluster smoke canary -------------------------------------
+
+
+def _digests(directory: str) -> dict[str, str]:
+    out = {}
+    for name in sorted(os.listdir(directory)):
+        path = os.path.join(directory, name)
+        if os.path.isfile(path):
+            with open(path, "rb") as handle:
+                out[name] = hashlib.sha256(handle.read()).hexdigest()
+    return out
+
+
+def _smoke(artifacts_dir: str | None) -> int:
+    """The cluster-smoke CI job body.
+
+    1. Golden: single-node TPC-H generation (the reference bytes).
+    2. 3-node distributed run — per-table digests must equal the golden.
+    3. Kill-one-node leg — a node dies mid-shard (scripted fault), the
+       parent truncates its parts to the durable prefix and reassigns;
+       digests must still equal the golden.
+    4. Imbalance leg — one node is slowed; the stealing run must record
+       steals and beat the static (no-steal) run's makespan.
+
+    ``artifacts_dir`` (the CI upload directory) receives the per-node
+    ``node<i>/`` checkpoint manifests of the kill leg and a stitched
+    trace of the whole canary, for post-mortem when an assertion fails.
+    """
+    import sys
+
+    sys.path.insert(
+        0, os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    )
+    from repro import obs
+    from repro.engine import GenerationEngine
+    from repro.resilience import FaultPlan
+    from repro.scheduler import generate, node_share
+    from repro.suites.tpch import tpch_artifacts, tpch_schema
+
+    schema = tpch_schema(0.001)
+    artifacts = tpch_artifacts()
+    base = tempfile.mkdtemp(prefix="cluster-smoke-")
+    tracer = obs.enable_tracing()
+    failures = 0
+    try:
+        golden_dir = os.path.join(base, "golden")
+        generate(
+            GenerationEngine(schema, artifacts),
+            OutputConfig(kind="file", format="csv", directory=golden_dir),
+            package_size=500,
+        )
+        golden = _digests(golden_dir)
+
+        cluster_dir = os.path.join(base, "cluster")
+        report = ClusterScheduler(
+            schema, artifacts,
+            output=OutputConfig(kind="file", format="csv",
+                                directory=cluster_dir),
+            package_size=500,
+        ).run(3)
+        if _digests(cluster_dir) != golden:
+            print("smoke cluster: FAIL — 3-node digests differ from golden")
+            failures += 1
+        else:
+            print(
+                f"smoke cluster: 3-node run byte-identical "
+                f"({report.rows} rows, {report.steals} steals)"
+            )
+
+        # kill-one-node leg: node 1 dies entering the second package of
+        # its lineitem shard, after one package is durable.
+        kill_dir = os.path.join(base, "killed")
+        ckpt_dir = (
+            os.path.join(artifacts_dir, "checkpoints")
+            if artifacts_dir else os.path.join(base, "ckpt")
+        )
+        latch = os.path.join(base, "latch")
+        os.makedirs(latch)
+        start, _stop = node_share(schema.sizes()["lineitem"], 3, 1)
+        killed = ClusterScheduler(
+            schema, artifacts,
+            output=OutputConfig(kind="file", format="csv",
+                                directory=kill_dir),
+            package_size=500, checkpoint=ckpt_dir,
+            faults=FaultPlan(kill_node_at=("lineitem", start + 500),
+                             latch_dir=latch),
+        ).run(3)
+        if killed.node_failures != 1:
+            print(
+                f"smoke kill: FAIL — expected 1 node failure, "
+                f"saw {killed.node_failures}"
+            )
+            failures += 1
+        if _digests(kill_dir) != golden:
+            print("smoke kill: FAIL — post-recovery digests differ from golden")
+            failures += 1
+        if not failures:
+            print(
+                f"smoke kill: dead node recovered byte-identically "
+                f"({killed.reassigned_ranges} ranges reassigned)"
+            )
+
+        # imbalance leg: slow node 0, stealing on vs off.
+        slow = FaultPlan(slow_nodes={0: 0.01})
+        stolen = ClusterScheduler(
+            schema, artifacts, output=OutputConfig(kind="null"),
+            package_size=200, faults=slow,
+        ).run(3)
+        static = ClusterScheduler(
+            schema, artifacts, output=OutputConfig(kind="null"),
+            package_size=200, faults=slow, steal=False,
+        ).run(3)
+        if stolen.steals < 1:
+            print("smoke steal: FAIL — no steals on an imbalanced cluster")
+            failures += 1
+        elif stolen.makespan >= static.makespan:
+            print(
+                f"smoke steal: FAIL — stealing makespan {stolen.makespan:.2f}s "
+                f"did not beat static {static.makespan:.2f}s"
+            )
+            failures += 1
+        else:
+            print(
+                f"smoke steal: {stolen.steals} steals, makespan "
+                f"{stolen.makespan:.2f}s vs static {static.makespan:.2f}s"
+            )
+    finally:
+        if artifacts_dir:
+            os.makedirs(artifacts_dir, exist_ok=True)
+            obs.write_trace_jsonl(
+                tracer, os.path.join(artifacts_dir, "cluster-smoke-trace.jsonl")
+            )
+        obs.reset()
+        shutil.rmtree(base, ignore_errors=True)
+    if failures == 0:
+        print("smoke ok: distributed cluster byte-identical, elastic, recoverable")
+    return 1 if failures else 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="run the correctness-only distributed cluster canary and exit",
+    )
+    parser.add_argument(
+        "--artifacts", metavar="DIR", default=None,
+        help="directory for post-mortem artifacts (node checkpoint "
+        "manifests, stitched trace); uploaded by CI on failure",
+    )
+    args = parser.parse_args(argv)
+    if not args.smoke:
+        parser.error("benchmark series run under pytest; use --smoke for script mode")
+    return _smoke(args.artifacts)
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main())

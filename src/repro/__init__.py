@@ -71,6 +71,7 @@ from repro import resilience
 from repro.resilience import RetryPolicy, RunManifest
 from repro.scheduler import (
     ClusterReport,
+    ClusterScheduler,
     MetaScheduler,
     ProgressMonitor,
     RunReport,
@@ -80,7 +81,7 @@ from repro.scheduler import (
 )
 from repro.scheduler.work import DEFAULT_PACKAGE_SIZE
 
-__version__ = "2.1.0"
+__version__ = "2.2.0"
 
 __all__ = [
     "Dataset",
@@ -117,6 +118,7 @@ __all__ = [
     "Table",
     "OutputConfig",
     "ClusterReport",
+    "ClusterScheduler",
     "MetaScheduler",
     "ProgressMonitor",
     "RunReport",

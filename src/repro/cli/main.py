@@ -225,6 +225,58 @@ def _cmd_preview(args: argparse.Namespace) -> int:
     return 0
 
 
+def _generate_cluster(args: argparse.Namespace, engine, output) -> int:
+    """Multi-node generation: the real distributed cluster runtime
+    (``--distributed``) or the pooled simulation (``--nodes N`` alone,
+    null sink only — pooled nodes share output paths and would clobber
+    each other's files; the distributed runtime merges per-node parts
+    instead)."""
+    from repro.scheduler import MetaScheduler
+
+    if args.nodes < 1:
+        raise ReproError(f"--nodes must be >= 1, got {args.nodes}")
+    if not args.distributed and args.kind != "null":
+        raise ReproError(
+            "--nodes without --distributed simulates throughput only and "
+            "needs --kind null; use --distributed for real file output"
+        )
+    scheduler = MetaScheduler(
+        engine.schema,
+        engine.artifacts,
+        output=output,
+        workers_per_node=args.workers,
+        checkpoint=args.checkpoint,
+        resume_from=args.checkpoint if args.resume else None,
+    )
+    report = scheduler.run(
+        args.nodes, distributed=args.distributed, steal=not args.no_steal
+    )
+    mode = "distributed" if report.distributed else "pooled"
+    print(
+        f"{report.rows:,} rows, {report.bytes_written / 1048576:.2f} MiB "
+        f"in {report.seconds:.2f} s ({report.mb_per_second:.2f} MB/s, "
+        f"{len(report.nodes)} {mode} nodes)"
+    )
+    if report.distributed:
+        print(f"steals: {report.steals} ({report.stolen_rows:,} rows reassigned)")
+        if report.node_failures:
+            print(
+                f"recovered: {report.node_failures} dead nodes, "
+                f"{report.reassigned_ranges} ranges reassigned"
+            )
+    if not args.quiet:
+        for node in report.nodes:
+            line = (
+                f"  node{node.node:<4} {node.rows:>12,} rows "
+                f"{node.bytes_written / 1048576:>9.2f} MiB "
+                f"({node.seconds:.2f} s)"
+            )
+            if node.steals_taken or node.steals_yielded:
+                line += f" steals +{node.steals_taken}/-{node.steals_yielded}"
+            print(line)
+    return 0
+
+
 def _cmd_generate(args: argparse.Namespace) -> int:
     tracer, registry, profiler, server = _telemetry_begin(args)
     try:
@@ -238,6 +290,8 @@ def _cmd_generate(args: argparse.Namespace) -> int:
             include_header=args.header,
             columnar=False if args.no_columnar else None,
         )
+        if args.distributed or args.nodes > 1:
+            return _generate_cluster(args, engine, output)
         if args.kind == "sqlite":
             # The SQL stream needs the target schema in place first.
             with SQLiteAdapter(output.database) as target:
@@ -608,6 +662,27 @@ def build_parser() -> argparse.ArgumentParser:
         "way; this is a performance knob for comparison runs)",
     )
     gen.add_argument("-w", "--workers", type=int, default=1)
+    gen.add_argument(
+        "--nodes",
+        type=int,
+        default=1,
+        metavar="N",
+        help="split the run across N cluster nodes; each node owns a "
+        "seed-derived share of every table (union == single-node run)",
+    )
+    gen.add_argument(
+        "--distributed",
+        action="store_true",
+        help="run each node as an independently launched OS process with "
+        "control-channel progress, per-node checkpoint journals, elastic "
+        "work stealing, and dead-node recovery (text formats with --kind "
+        "file or null; implies --nodes semantics even for N=1)",
+    )
+    gen.add_argument(
+        "--no-steal",
+        action="store_true",
+        help="disable elastic work stealing in --distributed runs",
+    )
     gen.add_argument(
         "--backend",
         choices=("thread", "process"),

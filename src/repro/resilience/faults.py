@@ -52,22 +52,32 @@ class FaultPlan:
     fault exactly once across all worker processes and restarts — the
     first worker to reach the package dies, the requeued attempt
     succeeds.
+
+    Cluster faults use the same discipline at node granularity:
+    ``kill_node_at=(table, start_row)`` kills the *node process* that
+    picks up the package beginning at that absolute row (once, via the
+    latch — the node the parent reassigns the range to survives), and
+    ``slow_nodes={node: seconds}`` injects a deterministic per-package
+    sleep so tests can script an unbalanced cluster and assert the work
+    stealer drains it.
     """
 
     kill_worker_at: tuple[str, int] | None = None
     latch_dir: str | None = None
     kill_exit_code: int = 137
+    kill_node_at: tuple[str, int] | None = None
+    slow_nodes: dict[int, float] | None = None
 
-    def should_kill_worker(self, table: str, sequence: int) -> bool:
-        if self.kill_worker_at is None:
-            return False
-        if (table, sequence) != tuple(self.kill_worker_at):
-            return False
+    def _arm_once(self, latch_name: str) -> bool:
+        """True the first time *latch_name* fires, False ever after.
+
+        Without a ``latch_dir`` the fault is unconditional (it fires on
+        every match — useful only when a single firing is structurally
+        guaranteed).
+        """
         if self.latch_dir is None:
             return True
-        latch = os.path.join(
-            self.latch_dir, f"kill-{table}-{sequence}.latch"
-        )
+        latch = os.path.join(self.latch_dir, latch_name)
         os.makedirs(self.latch_dir, exist_ok=True)
         try:
             os.close(os.open(latch, os.O_CREAT | os.O_EXCL | os.O_WRONLY))
@@ -75,10 +85,38 @@ class FaultPlan:
             return False  # already fired once
         return True
 
+    def should_kill_worker(self, table: str, sequence: int) -> bool:
+        if self.kill_worker_at is None:
+            return False
+        if (table, sequence) != tuple(self.kill_worker_at):
+            return False
+        return self._arm_once(f"kill-{table}-{sequence}.latch")
+
     def maybe_kill_worker(self, table: str, sequence: int) -> None:
         """Called by the worker loop per package; dies if armed."""
         if self.should_kill_worker(table, sequence):
             os._exit(self.kill_exit_code)
+
+    def should_kill_node(self, table: str, start: int) -> bool:
+        """Whether the cluster node picking up the package that begins
+        at absolute row ``start`` of ``table`` must die.
+
+        Keyed by start row rather than sequence because a reassigned
+        range re-numbers its packages but keeps absolute row positions —
+        the latch therefore guards the retry no matter which node runs
+        it.
+        """
+        if self.kill_node_at is None:
+            return False
+        if (table, start) != tuple(self.kill_node_at):
+            return False
+        return self._arm_once(f"kill-node-{table}-{start}.latch")
+
+    def node_delay(self, node: int) -> float:
+        """The scripted per-package sleep for a deliberately slow node."""
+        if not self.slow_nodes:
+            return 0.0
+        return float(self.slow_nodes.get(node, 0.0))
 
 
 class FlakySink(Sink):

@@ -1,6 +1,7 @@
 """Scheduling: work packages, thread/process scheduler, multi-node meta
-scheduler."""
+scheduler, and the distributed cluster runtime."""
 
+from repro.scheduler.cluster import ClusterScheduler
 from repro.scheduler.meta import ClusterReport, MetaScheduler, NodeReport, run_node
 from repro.scheduler.progress import ProgressMonitor, ProgressSnapshot
 from repro.scheduler.scheduler import (
@@ -17,12 +18,14 @@ from repro.scheduler.work import (
     node_share,
     partition_rows,
     plan_node,
+    plan_shards,
 )
 
 __all__ = [
     "BACKENDS",
     "DEFAULT_INFLIGHT_EXTRA",
     "ClusterReport",
+    "ClusterScheduler",
     "MetaScheduler",
     "NodeReport",
     "run_node",
@@ -37,4 +40,5 @@ __all__ = [
     "node_share",
     "partition_rows",
     "plan_node",
+    "plan_shards",
 ]

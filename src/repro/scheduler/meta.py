@@ -21,7 +21,6 @@ of the scheduler's worker-span stitching.
 
 from __future__ import annotations
 
-import multiprocessing
 import os
 import time
 from dataclasses import dataclass
@@ -30,10 +29,14 @@ from repro.engine import GenerationEngine
 from repro.exceptions import SchedulingError
 from repro.generators.base import ArtifactStore
 from repro.obs import (
+    MetricsRegistry,
+    Tracer,
     WorkerTelemetry,
     active_metrics,
     active_profiler,
     active_tracer,
+    enable_metrics,
+    enable_tracing,
     span,
     span_payload,
     stitch_spans,
@@ -41,7 +44,7 @@ from repro.obs import (
 )
 from repro.model.schema import Schema
 from repro.output.config import OutputConfig
-from repro.scheduler.scheduler import RunReport, Scheduler
+from repro.scheduler.scheduler import RunReport, Scheduler, mp_context
 from repro.scheduler.work import DEFAULT_PACKAGE_SIZE, node_share
 
 
@@ -49,10 +52,13 @@ from repro.scheduler.work import DEFAULT_PACKAGE_SIZE, node_share
 class NodeReport:
     """Result of one node's share of a multi-node run.
 
-    ``telemetry`` carries the node process's exported collectors back to
-    the parent (span payload, metric deltas, folded profile counts) —
-    ``None`` for sequential in-process nodes, which record straight into
-    the ambient collectors.
+    ``telemetry`` carries the node's exported collectors back to the
+    parent (span payload, metric deltas, folded profile counts) — both
+    execution paths fill it when the parent has collectors active, so
+    ``dbsynth stats --tree`` renders the same stitched tree shape for
+    sequential and process nodes. ``steals_taken``/``steals_yielded``
+    count work-stealing reassignments in distributed runs (ranges this
+    node received from, or gave up to, another node).
     """
 
     node: int
@@ -60,11 +66,13 @@ class NodeReport:
     bytes_written: int
     seconds: float
     telemetry: dict | None = None
+    steals_taken: int = 0
+    steals_yielded: int = 0
 
 
 @dataclass(frozen=True)
 class ClusterReport:
-    """Aggregated outcome of a simulated cluster run.
+    """Aggregated outcome of a multi-node run.
 
     ``seconds`` is the cluster's makespan — the wall-clock of the whole
     pool run when one was measured (``makespan``), never less than the
@@ -72,10 +80,20 @@ class ClusterReport:
     Figure 4 does. Per-node timers undershoot the true makespan when
     pool startup/teardown dominates, so sequential (in-process) runs
     leave ``makespan`` at 0 and fall back to the slowest node.
+
+    Distributed runs (``distributed=True``) additionally report the
+    elastic-scheduling counters: ``steals``/``stolen_rows`` for
+    work-stealing reassignments, ``node_failures`` and
+    ``reassigned_ranges`` for dead-node recovery.
     """
 
     nodes: list[NodeReport]
     makespan: float = 0.0
+    distributed: bool = False
+    steals: int = 0
+    stolen_rows: int = 0
+    node_failures: int = 0
+    reassigned_ranges: int = 0
 
     @property
     def rows(self) -> int:
@@ -142,14 +160,13 @@ def run_node(
 
 
 def _node_worker(args: tuple) -> NodeReport:
-    """Child/sequential body for one simulated cluster node.
+    """Child-process body for one pooled cluster node.
 
-    ``telemetry`` is ``None`` for sequential in-process nodes (the
-    ambient collectors see their spans directly) and a
-    :class:`~repro.obs.stitch.WorkerTelemetry` for pool nodes, which —
-    like scheduler worker processes — must reset the forked copy of the
-    parent's collectors and run their own, exporting everything for the
-    parent to stitch.
+    Pool nodes — like scheduler worker processes — must reset the forked
+    copy of the parent's collectors and run their own, exporting
+    everything for the parent to stitch. (Sequential nodes go through
+    :func:`_sequential_node` instead, which captures into swapped-in
+    collectors without resetting the parent's profiler.)
     """
     from repro import obs
 
@@ -184,12 +201,64 @@ def _node_worker(args: tuple) -> NodeReport:
     )
 
 
-class MetaScheduler:
-    """Coordinates a simulated multi-node run.
+def _sequential_node(args: tuple, tracer, registry) -> NodeReport:
+    """In-process body for one sequential cluster node.
 
-    ``processes=True`` runs each node in its own OS process (the Fig. 4
-    setup); ``processes=False`` runs nodes sequentially in-process, which
-    is useful for tests that only check output equivalence.
+    Sequential nodes used to record straight into the ambient collectors
+    while pool nodes shipped payloads — two different trace shapes for
+    the same run. Now both paths produce a :class:`NodeReport` with a
+    ``telemetry`` payload: the node's spans/metrics are captured into
+    fresh collectors swapped in for the duration (the ambient profiler
+    keeps sampling — stopping it mid-run would end the parent's profile),
+    then the parent's collectors are restored and the payload is
+    stitched exactly like a pool node's.
+    """
+    (schema, nodes, node, output, artifacts, workers, package_size,
+     checkpoint, resume_from, retry, _telemetry) = args
+    local_tracer = local_registry = None
+    if tracer is not None:
+        local_tracer = enable_tracing(Tracer())
+    if registry is not None:
+        local_registry = enable_metrics(MetricsRegistry())
+    try:
+        with span("meta.node", node=node, nodes=nodes):
+            report = run_node(
+                schema, nodes, node, output, artifacts, workers,
+                package_size, checkpoint, resume_from, retry,
+            )
+    finally:
+        if tracer is not None:
+            enable_tracing(tracer)
+        if registry is not None:
+            enable_metrics(registry)
+    payload = None
+    if local_tracer is not None or local_registry is not None:
+        payload = {
+            "spans": (
+                span_payload(local_tracer) if local_tracer is not None else None
+            ),
+            "metrics": (
+                local_registry.export_deltas()
+                if local_registry is not None else None
+            ),
+            "profile": None,
+        }
+    return NodeReport(
+        node, report.rows, report.bytes_written, report.seconds, payload
+    )
+
+
+class MetaScheduler:
+    """Coordinates a multi-node run.
+
+    ``processes=True`` runs each node in its own pool process (the
+    simulated Fig. 4 setup); ``processes=False`` runs nodes sequentially
+    in-process, which is useful for tests that only check output
+    equivalence. ``distributed=True`` switches to the real cluster
+    runtime (:class:`~repro.scheduler.cluster.ClusterScheduler`):
+    independently launched node processes with control-channel progress,
+    elastic work stealing (``steal``), per-node ``node<i>/`` checkpoint
+    journals, and dead-node recovery.
     """
 
     def __init__(
@@ -212,9 +281,17 @@ class MetaScheduler:
         self.resume_from = resume_from
         self.retry = retry
 
-    def run(self, nodes: int, processes: bool = True) -> ClusterReport:
+    def run(
+        self,
+        nodes: int,
+        processes: bool = True,
+        distributed: bool = False,
+        steal: bool = True,
+    ) -> ClusterReport:
         if nodes < 1:
             raise SchedulingError(f"node count must be >= 1, got {nodes}")
+        if distributed:
+            return self._run_distributed(nodes, steal)
         tracer = active_tracer()
         registry = active_metrics()
         profiler = active_profiler()
@@ -245,20 +322,27 @@ class MetaScheduler:
             )
             for node in range(nodes)
         ]
+        wall = 0.0
         with span("meta.run", nodes=nodes, processes=pooled) as meta_span:
+            meta_span_id = getattr(meta_span, "span_id", None)
             if not pooled:
                 # Sequential execution: per-node times are the only
-                # clock, and node spans nest under meta.run directly.
-                return ClusterReport([_node_worker(args) for args in job_args])
-            meta_span_id = getattr(meta_span, "span_id", None)
-            context = multiprocessing.get_context("fork")
-            started = time.perf_counter()
-            with context.Pool(processes=nodes) as pool:
-                reports = pool.map(_node_worker, job_args)
-            wall = time.perf_counter() - started
+                # clock. Each node's telemetry is captured into local
+                # collectors and stitched below, so the tree shape
+                # matches a pooled run exactly.
+                reports = [
+                    _sequential_node(args, tracer, registry)
+                    for args in job_args
+                ]
+            else:
+                context = mp_context()
+                started = time.perf_counter()
+                with context.Pool(processes=nodes) as pool:
+                    reports = pool.map(_node_worker, job_args)
+                wall = time.perf_counter() - started
             # Graft each node's subtrace/metrics/profile into the
             # parent's collectors — ``meta.node`` roots land under the
-            # ``meta.run`` span, one cluster-wide trace.
+            # ``meta.run`` span, one cluster-wide trace, for both paths.
             for report in reports:
                 payload = report.telemetry
                 if not payload:
@@ -276,3 +360,28 @@ class MetaScheduler:
         # makespan; carry the measured pool wall-clock so ClusterReport
         # .seconds reports the larger of the two and throughput is honest.
         return ClusterReport(reports, makespan=wall)
+
+    def _run_distributed(self, nodes: int, steal: bool) -> ClusterReport:
+        """Delegate to the real cluster runtime (imported lazily — the
+        cluster module builds on this one)."""
+        from repro.scheduler.cluster import ClusterScheduler
+
+        if self.workers_per_node != 1:
+            raise SchedulingError(
+                "distributed nodes generate their shard sequentially; "
+                f"workers_per_node must be 1, got {self.workers_per_node}"
+            )
+        if self.resume_from is not None:
+            raise SchedulingError(
+                "distributed runs recover in-run (dead shards are "
+                "reassigned live); cross-run resume_from is not supported"
+            )
+        cluster = ClusterScheduler(
+            self.schema,
+            self.artifacts,
+            output=self.output,
+            package_size=self.package_size,
+            checkpoint=self.checkpoint,
+            steal=steal,
+        )
+        return cluster.run(nodes)

@@ -214,12 +214,13 @@ class _TableInstruments:
             self.latency.observe(elapsed / values * 1e9)
 
 
-def _mp_context():
+def mp_context():
     """Fork where available (cheap engine inheritance), else default.
 
     Under spawn the engine crosses via :meth:`GenerationEngine.__reduce__`
     — pickled as its model and rebuilt in the child — so both start
-    methods yield identical workers.
+    methods yield identical workers. Shared by the process backend, the
+    meta scheduler's node pool, and the distributed cluster runtime.
     """
     try:
         return multiprocessing.get_context("fork")
@@ -871,7 +872,7 @@ class Scheduler:
         from repro.exceptions import SchedulingError
 
         total = len(packages)
-        context = _mp_context()
+        context = mp_context()
         result_queue = context.Queue()
 
         tracer = active_tracer()

@@ -88,3 +88,27 @@ def plan_node(
         offset_packages = partition_rows(table, share, package_size, offset=start)
         packages.extend(offset_packages)
     return packages
+
+
+def plan_shards(
+    sizes: dict[str, int], nodes: int
+) -> list[list[tuple[str, int, int]]]:
+    """Initial shard ranges per node: ``shards[node] = [(table, start,
+    stop), ...]`` with empty shares dropped.
+
+    This is the distributed cluster's starting assignment — the shard a
+    node *owns* until work stealing or dead-node recovery moves tail
+    ranges elsewhere. The union over nodes covers every table's
+    ``[0, size)`` exactly once (tables smaller than the node count leave
+    some nodes without a range for that table; zero-row tables appear in
+    no shard).
+    """
+    shards: list[list[tuple[str, int, int]]] = []
+    for node in range(nodes):
+        ranges: list[tuple[str, int, int]] = []
+        for table, size in sizes.items():
+            start, stop = node_share(size, nodes, node)
+            if stop > start:
+                ranges.append((table, start, stop))
+        shards.append(ranges)
+    return shards

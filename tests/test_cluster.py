@@ -1,0 +1,391 @@
+"""Distributed cluster runtime: real node processes, elastic stealing,
+dead-node recovery.
+
+The acceptance bar is byte-identity: whatever the cluster did — static
+shards, stolen tail ranges, a node killed mid-shard and its remainder
+regenerated elsewhere — the merged per-table files must equal a
+single-node run byte for byte. Shard planning is tested as an exact
+partition (union covers every row once, no overlap) including the edge
+cases: tables smaller than the node count, zero-row tables, and package
+sizes that do not divide shard boundaries.
+"""
+
+from __future__ import annotations
+
+import filecmp
+import os
+
+import pytest
+
+from repro import obs
+from repro.cli.main import main
+from repro.engine import GenerationEngine
+from repro.exceptions import SchedulingError
+from repro.output.config import OutputConfig
+from repro.resilience import FaultPlan
+from repro.scheduler import (
+    ClusterScheduler,
+    MetaScheduler,
+    generate,
+    node_share,
+    partition_rows,
+    plan_shards,
+)
+from tests.conftest import demo_schema
+
+
+@pytest.fixture(autouse=True)
+def _clean_obs_state():
+    obs.reset()
+    yield
+    obs.reset()
+
+
+def _file_output(directory, fmt: str = "csv") -> OutputConfig:
+    return OutputConfig(kind="file", format=fmt, directory=str(directory))
+
+
+def _single_node(tmp_path, schema, fmt: str = "csv", package_size: int = 25):
+    """Reference run: the bytes every cluster variant must reproduce."""
+    output = _file_output(tmp_path / "single", fmt)
+    generate(GenerationEngine(schema), output, package_size=package_size)
+    return output
+
+
+def _assert_identical(schema, reference: OutputConfig, candidate: OutputConfig):
+    for table in schema.tables:
+        left = reference.table_path(table.name)
+        right = candidate.table_path(table.name)
+        assert filecmp.cmp(left, right, shallow=False), (
+            f"table {table.name}: cluster output differs from single-node"
+        )
+
+
+class TestShardPlanning:
+    @pytest.mark.parametrize("size", [0, 1, 2, 3, 7, 24, 100, 1001])
+    @pytest.mark.parametrize("nodes", [1, 2, 3, 5, 8])
+    def test_union_is_exact_partition(self, size, nodes):
+        shards = plan_shards({"t": size}, nodes)
+        assert len(shards) == nodes
+        ranges = sorted(r for shard in shards for r in shard)
+        position = 0
+        for table, start, stop in ranges:
+            assert table == "t"
+            assert start == position, "gap or overlap between shards"
+            assert stop > start, "empty ranges must be dropped"
+            position = stop
+        assert position == size
+
+    def test_fewer_rows_than_nodes(self):
+        shards = plan_shards({"tiny": 3}, 5)
+        owning = [shard for shard in shards if shard]
+        assert len(owning) == 3
+        assert all(stop - start == 1 for shard in owning
+                   for _, start, stop in shard)
+
+    def test_zero_row_table_in_no_shard(self):
+        shards = plan_shards({"empty": 0, "t": 10}, 3)
+        assert all(
+            table != "empty" for shard in shards for table, _, _ in shard
+        )
+
+    def test_non_dividing_package_size_covers_share_exactly(self):
+        # package size 7 divides neither the 100-row table nor the
+        # 33/33/34 shard boundaries; the packages must still tile each
+        # shard exactly.
+        for node in range(3):
+            start, stop = node_share(100, 3, node)
+            packages = partition_rows("t", stop - start, 7, offset=start)
+            position = start
+            for package in packages:
+                assert package.start == position
+                position = package.stop
+            assert position == stop
+
+    def test_multi_table_shards_cover_all_tables(self):
+        sizes = {"a": 10, "b": 0, "c": 2, "d": 57}
+        shards = plan_shards(sizes, 4)
+        covered: dict[str, int] = {name: 0 for name in sizes}
+        for shard in shards:
+            for table, start, stop in shard:
+                covered[table] += stop - start
+        assert covered == {"a": 10, "b": 0, "c": 2, "d": 57}
+
+
+class TestClusterByteIdentity:
+    def test_three_nodes_merge_to_single_node_bytes(self, tmp_path):
+        schema = demo_schema()
+        single = _single_node(tmp_path, schema)
+        output = _file_output(tmp_path / "cluster")
+        report = ClusterScheduler(schema, output=output, package_size=25).run(3)
+        assert report.distributed
+        assert report.rows == 240
+        assert report.node_failures == 0
+        assert len(report.nodes) == 3
+        _assert_identical(schema, single, output)
+        # part files are an implementation detail; the merge removes them
+        assert not os.path.exists(tmp_path / "cluster" / ".dbsynth-parts")
+
+    @pytest.mark.parametrize("fmt", ["json", "sql", "xml"])
+    def test_formats_with_headers_and_footers(self, tmp_path, fmt):
+        # sql/xml have non-trivial header+footer framing the merge must
+        # emit exactly once, around parts from three different nodes.
+        schema = demo_schema()
+        single = _single_node(tmp_path, schema, fmt=fmt)
+        output = _file_output(tmp_path / "cluster", fmt)
+        ClusterScheduler(schema, output=output, package_size=25).run(3)
+        _assert_identical(schema, single, output)
+
+    def test_more_nodes_than_rows(self, tmp_path):
+        schema = demo_schema(customers=3, orders=5)
+        single = _single_node(tmp_path, schema, package_size=2)
+        output = _file_output(tmp_path / "cluster")
+        report = ClusterScheduler(schema, output=output, package_size=2).run(5)
+        assert report.rows == 8
+        _assert_identical(schema, single, output)
+
+    def test_null_sink_counts_rows(self):
+        report = ClusterScheduler(
+            demo_schema(), output=OutputConfig(kind="null"), package_size=30
+        ).run(2)
+        assert report.rows == 240
+        assert report.bytes_written > 0
+
+    def test_single_node_cluster(self, tmp_path):
+        schema = demo_schema()
+        single = _single_node(tmp_path, schema)
+        output = _file_output(tmp_path / "cluster")
+        ClusterScheduler(schema, output=output, package_size=25).run(1)
+        _assert_identical(schema, single, output)
+
+    def test_nodes_journal_into_per_node_manifests(self, tmp_path):
+        checkpoint = tmp_path / "ckpt"
+        ClusterScheduler(
+            demo_schema(),
+            output=_file_output(tmp_path / "out"),
+            package_size=30,
+            checkpoint=str(checkpoint),
+        ).run(3)
+        for node in range(3):
+            manifest = checkpoint / f"node{node}" / "manifest.jsonl"
+            assert manifest.exists()
+            text = manifest.read_text()
+            assert '"cluster"' in text
+            assert '"run_done"' in text
+
+
+class TestWorkStealing:
+    def test_stealing_rebalances_a_slow_node(self, tmp_path):
+        schema = demo_schema()
+        single = _single_node(tmp_path, schema, package_size=10)
+        slow = FaultPlan(slow_nodes={0: 0.02})
+
+        stolen_out = _file_output(tmp_path / "steal")
+        stolen = ClusterScheduler(
+            schema, output=stolen_out, package_size=10, faults=slow
+        ).run(3)
+        assert stolen.steals > 0
+        assert stolen.stolen_rows > 0
+        _assert_identical(schema, single, stolen_out)
+
+        static_out = _file_output(tmp_path / "static")
+        static = ClusterScheduler(
+            schema, output=static_out, package_size=10, faults=slow,
+            steal=False,
+        ).run(3)
+        assert static.steals == 0
+        _assert_identical(schema, single, static_out)
+        # the whole point: draining the slow node's tail beats waiting
+        assert stolen.makespan < static.makespan
+
+    def test_steal_counters_are_consistent(self):
+        report = ClusterScheduler(
+            demo_schema(), output=OutputConfig(kind="null"), package_size=10,
+            faults=FaultPlan(slow_nodes={0: 0.02}),
+        ).run(3)
+        assert report.steals > 0
+        assert sum(n.steals_yielded for n in report.nodes) == report.steals
+        assert sum(n.steals_taken for n in report.nodes) == report.steals
+        # the slow node yields, never takes
+        slow = report.nodes[0]
+        assert slow.steals_yielded > 0
+        assert slow.steals_taken == 0
+
+    def test_stolen_ranges_trace_as_redo_free_reassignments(self):
+        tracer = obs.enable_tracing()
+        ClusterScheduler(
+            demo_schema(), output=OutputConfig(kind="null"), package_size=10,
+            faults=FaultPlan(slow_nodes={0: 0.02}),
+        ).run(3)
+        records = tracer.drain()
+        stolen = [
+            r for r in records
+            if r.name == "node.assignment" and r.attrs.get("reason") == "steal"
+        ]
+        assert stolen, "expected stolen assignment spans in the trace"
+        # redo-free: stolen work runs at attempt 1 and names its origin —
+        # always some *other* node (steals can cascade past node 0).
+        assert all(r.attrs["attempt"] == 1 for r in stolen)
+        assert all(r.attrs["origin"] != r.attrs["node"] for r in stolen)
+        packages = [r for r in records if r.name == "scheduler.package"]
+        assert all(r.attrs["attempt"] == 1 for r in packages)
+        # and the rendered tree surfaces the reassignment, so
+        # `dbsynth stats --tree` shows stolen spans without raw JSONL
+        # spelunking.
+        tree = "\n".join(obs.render_span_tree(records))
+        assert "reason=steal" in tree
+        assert "origin=" in tree
+
+
+class TestDeadNodeRecovery:
+    def test_killed_node_resumes_elsewhere_byte_identically(self, tmp_path):
+        schema = demo_schema()
+        single = _single_node(tmp_path, schema, package_size=10)
+        # node 1 owns orders rows [60, 120); kill it entering its second
+        # orders package, after one package is durable.
+        start, _stop = node_share(180, 3, 1)
+        faults = FaultPlan(
+            kill_node_at=("orders", start + 10),
+            latch_dir=str(tmp_path / "latch"),
+        )
+        os.makedirs(tmp_path / "latch")
+        output = _file_output(tmp_path / "cluster")
+        report = ClusterScheduler(
+            schema, output=output, package_size=10, faults=faults
+        ).run(3)
+        assert report.node_failures == 1
+        assert report.reassigned_ranges >= 1
+        assert report.rows == 240
+        _assert_identical(schema, single, output)
+
+    def test_kill_before_any_durable_package(self, tmp_path):
+        # node 2 dies on the very first package of its customer shard:
+        # its empty part file must be removed so the recipient can
+        # recreate the range from the same start row.
+        schema = demo_schema()
+        single = _single_node(tmp_path, schema, package_size=10)
+        start, _stop = node_share(60, 3, 2)
+        faults = FaultPlan(
+            kill_node_at=("customer", start),
+            latch_dir=str(tmp_path / "latch"),
+        )
+        os.makedirs(tmp_path / "latch")
+        output = _file_output(tmp_path / "cluster")
+        report = ClusterScheduler(
+            schema, output=output, package_size=10, faults=faults
+        ).run(3)
+        assert report.node_failures == 1
+        _assert_identical(schema, single, output)
+
+    def test_failure_cap_stops_crash_loops(self, tmp_path):
+        # no latch: every process that reaches the package dies, so the
+        # respawn dies too and the cap must abort the run.
+        faults = FaultPlan(kill_node_at=("customer", 0))
+        with pytest.raises(SchedulingError, match="node failures exceed"):
+            ClusterScheduler(
+                demo_schema(), output=_file_output(tmp_path / "out"),
+                package_size=10, faults=faults, max_node_failures=1,
+            ).run(1)
+
+
+class TestValidation:
+    def test_binary_formats_are_refused(self, tmp_path):
+        # build a valid config, then flip the format past __post_init__
+        # so the check runs with or without pyarrow installed
+        output = OutputConfig(kind="file", format="csv", directory=str(tmp_path))
+        object.__setattr__(output, "format", "arrow")
+        with pytest.raises(SchedulingError, match="package-framed binary"):
+            ClusterScheduler(demo_schema(), output=output)
+
+    def test_non_mergeable_sinks_are_refused(self):
+        with pytest.raises(SchedulingError, match="distributed runs support"):
+            ClusterScheduler(
+                demo_schema(),
+                output=OutputConfig(
+                    kind="sqlite", format="sql", database=":memory:"
+                ),
+            )
+
+    def test_node_count_must_be_positive(self):
+        with pytest.raises(SchedulingError):
+            ClusterScheduler(
+                demo_schema(), output=OutputConfig(kind="null")
+            ).run(0)
+
+    def test_meta_rejects_workers_per_node(self):
+        scheduler = MetaScheduler(
+            demo_schema(), output=OutputConfig(kind="null"), workers_per_node=2
+        )
+        with pytest.raises(SchedulingError, match="workers_per_node"):
+            scheduler.run(2, distributed=True)
+
+    def test_meta_rejects_cross_run_resume(self, tmp_path):
+        scheduler = MetaScheduler(
+            demo_schema(), output=OutputConfig(kind="null"),
+            resume_from=str(tmp_path),
+        )
+        with pytest.raises(SchedulingError, match="resume_from"):
+            scheduler.run(2, distributed=True)
+
+
+class TestDistributedMeta:
+    def test_distributed_run_matches_single_node(self, tmp_path):
+        schema = demo_schema()
+        single = _single_node(tmp_path, schema)
+        output = _file_output(tmp_path / "cluster")
+        report = MetaScheduler(schema, output=output, package_size=25).run(
+            2, distributed=True
+        )
+        assert report.distributed
+        _assert_identical(schema, single, output)
+
+    def test_tree_shape_parity_across_execution_paths(self):
+        """`dbsynth stats --tree` must render the same shape whatever ran:
+        sequential nodes, pooled processes, or the distributed cluster."""
+        totals = {}
+        for mode in ("sequential", "pooled", "distributed"):
+            tracer = obs.enable_tracing()
+            scheduler = MetaScheduler(
+                demo_schema(), output=OutputConfig(kind="null"),
+                package_size=30,
+            )
+            if mode == "distributed":
+                scheduler.run(2, distributed=True)
+            else:
+                scheduler.run(2, processes=mode == "pooled")
+            records = tracer.drain()
+            meta_run = next(r for r in records if r.name == "meta.run")
+            nodes = [r for r in records if r.name == "meta.node"]
+            assert len(nodes) == 2, mode
+            assert all(r.parent_id == meta_run.span_id for r in nodes), mode
+            assert sorted(r.attrs["node"] for r in nodes) == [0, 1], mode
+            totals[mode] = obs.table_totals(records)
+            obs.reset()
+        assert totals["sequential"] == totals["pooled"] == totals["distributed"]
+
+
+class TestClusterCLI:
+    def test_generate_distributed(self, tmp_path, capsys):
+        single = tmp_path / "single"
+        cluster = tmp_path / "cluster"
+        base = ["generate", "--suite", "tpch", "--sf", "0.0005",
+                "--format", "csv", "--header", "-q"]
+        assert main(base + ["-d", str(single)]) == 0
+        assert main(
+            base + ["-d", str(cluster), "--nodes", "3", "--distributed"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "3 distributed nodes" in out
+        assert "steals:" in out
+        for name in os.listdir(single):
+            assert filecmp.cmp(
+                single / name, cluster / name, shallow=False
+            ), name
+
+    def test_pooled_nodes_require_null_sink(self, tmp_path, capsys):
+        code = main([
+            "generate", "--suite", "tpch", "--sf", "0.0005",
+            "-d", str(tmp_path), "--nodes", "2",
+        ])
+        assert code == 2
+        assert "--distributed" in capsys.readouterr().err

@@ -15,7 +15,10 @@ JSON ledger (``BENCH_core.json`` by default):
 * ``serve_rps`` / ``serve_p99_ms`` — the ``dbsynth serve`` load driver
   (``benchmarks/bench_serve.py``): concurrent mixed-format range
   requests against a TPC-H data server, requests/second and p99 request
-  latency (every response digest-checked against a cold batch run).
+  latency (every response digest-checked against a cold batch run);
+* ``cluster_rows_per_s`` — distributed cluster throughput: a 3-node
+  TPC-H run on the real process-per-node runtime (work stealing on,
+  null sink), total rows over the cluster makespan.
 
 Every entry records the commit, timestamp, and a machine fingerprint
 (platform + CPU count + Python version). The regression gate compares
@@ -58,6 +61,7 @@ METRICS = {
     "columnar_mb_per_s": "up",
     "serve_rps": "up",
     "serve_p99_ms": "down",
+    "cluster_rows_per_s": "up",
 }
 
 
@@ -189,6 +193,28 @@ def measure_columnar_mb_per_s(rows: int, rounds: int) -> float:
     return best
 
 
+def measure_cluster_rows_per_s(
+    scale_factor: float, nodes: int, rounds: int
+) -> float:
+    """Best-of-rounds distributed cluster throughput: real node
+    processes over the null sink, TPC-H shard per node, stealing on.
+    Rows (not MB) because the cluster's unit of reassignable work is the
+    row range."""
+    from repro.output.config import OutputConfig
+    from repro.scheduler import ClusterScheduler
+    from repro.suites.tpch import tpch_artifacts, tpch_schema
+
+    best = 0.0
+    for _ in range(rounds):
+        report = ClusterScheduler(
+            tpch_schema(scale_factor), tpch_artifacts(),
+            output=OutputConfig(kind="null"), package_size=2000,
+        ).run(nodes)
+        if report.seconds > 0:
+            best = max(best, report.rows / report.seconds)
+    return best
+
+
 def measure_serve(smoke: bool, rounds: int) -> dict[str, float]:
     """The serve load driver's rps/p99 (see benchmarks/bench_serve.py)."""
     sys.path.insert(
@@ -223,6 +249,9 @@ def run_measurements(smoke: bool) -> dict[str, float]:
         ),
         "columnar_mb_per_s": round(
             measure_columnar_mb_per_s(10_000 if smoke else 40_000, rounds), 3
+        ),
+        "cluster_rows_per_s": round(
+            measure_cluster_rows_per_s(scale_factor, nodes=3, rounds=rounds), 1
         ),
     }
     results.update(measure_serve(smoke, rounds))
@@ -277,7 +306,7 @@ def gate(
     failures = []
     for metric, direction in METRICS.items():
         baseline = best_baseline(entries, fingerprint, metric, direction)
-        if baseline is None or baseline <= 0:
+        if baseline is None or baseline <= 0 or metric not in results:
             continue
         value = results[metric]
         if direction == "up":
@@ -327,6 +356,8 @@ def main(argv: list[str] | None = None) -> int:
     if args.inject_slowdown:
         factor = args.inject_slowdown
         for metric, direction in METRICS.items():
+            if metric not in results:
+                continue
             if direction == "up":
                 results[metric] = round(results[metric] * (1 - factor), 3)
             else:
@@ -334,7 +365,8 @@ def main(argv: list[str] | None = None) -> int:
         print(f"injected {factor:.0%} slowdown into all metrics")
 
     for metric in METRICS:
-        print(f"{metric}: {results[metric]}")
+        if metric in results:
+            print(f"{metric}: {results[metric]}")
 
     ledger = load_ledger(args.ledger)
     failures = gate(results, ledger["entries"], fingerprint, args.threshold)
